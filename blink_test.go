@@ -1,0 +1,206 @@
+package blink
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewCommAndCollectives(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{1, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm.Size() != 5 {
+		t.Fatalf("size = %d", comm.Size())
+	}
+	if got := comm.Devices(); len(got) != 5 || got[0] != 1 {
+		t.Fatalf("devices = %v", got)
+	}
+	for name, fn := range map[string]func() (Result, error){
+		"broadcast":     func() (Result, error) { return comm.Broadcast(0, 64<<20) },
+		"gather":        func() (Result, error) { return comm.Gather(0, 64<<20) },
+		"allreduce":     func() (Result, error) { return comm.AllReduce(64 << 20) },
+		"allgather":     func() (Result, error) { return comm.AllGather(64 << 20) },
+		"reducescatter": func() (Result, error) { return comm.ReduceScatter(64 << 20) },
+		"hybrid":        func() (Result, error) { return comm.HybridBroadcast(0, 64<<20) },
+	} {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.ThroughputGBs <= 0 || res.Seconds <= 0 {
+			t.Fatalf("%s: empty result %+v", name, res)
+		}
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	blinkComm, err := NewComm(DGX1V(), []int{0, 1, 4}, WithBackend(BackendBlink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncclComm, err := NewComm(DGX1V(), []int{0, 1, 4}, WithBackend(BackendNCCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := blinkComm.Broadcast(0, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ncclComm.Broadcast(0, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ThroughputGBs <= 2*n.ThroughputGBs {
+		t.Fatalf("Blink %.1f should dominate NCCL %.1f on the Fig 2b allocation", b.ThroughputGBs, n.ThroughputGBs)
+	}
+	if blinkComm.Backend() != BackendBlink || ncclComm.Backend() != BackendNCCL {
+		t.Fatal("backend accessors wrong")
+	}
+}
+
+func TestAllReduceDataEndToEnd(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{2, 3, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	rng := rand.New(rand.NewSource(21))
+	inputs := make([][]float32, comm.Size())
+	want := make([]float32, n)
+	for r := range inputs {
+		inputs[r] = make([]float32, n)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.Intn(32))
+			want[i] += inputs[r][i]
+		}
+	}
+	outs, err := comm.AllReduceData(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, out := range outs {
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("rank %d element %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBroadcastDataEndToEnd(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{5, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float32, 1024)
+	for i := range data {
+		data[i] = float32(i) * 0.5
+	}
+	outs, err := comm.BroadcastData(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, out := range outs {
+		for i := range data {
+			if out[i] != data[i] {
+				t.Fatalf("rank %d element %d mismatch", r, i)
+			}
+		}
+	}
+	if _, err := comm.BroadcastData(0, nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestDataModeRequired(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comm.AllReduceData(make([][]float32, 3)); err == nil {
+		t.Fatal("data call without WithDataMode accepted")
+	}
+}
+
+func TestAllReduceDataValidation(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{5, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comm.AllReduceData([][]float32{{1}}); err == nil {
+		t.Fatal("wrong rank count accepted")
+	}
+	if _, err := comm.AllReduceData([][]float32{{1}, {1, 2}, {1}}); err == nil {
+		t.Fatal("ragged buffers accepted")
+	}
+}
+
+func TestTreesIntrospection(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := comm.Trees(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trees) != 6 || p.Rate != 6 {
+		t.Fatalf("full DGX-1V packing: %d trees rate %v, want 6 at 6", len(p.Trees), p.Rate)
+	}
+}
+
+func TestDGX2Comm(t *testing.T) {
+	comm, err := NewComm(DGX2(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm.Size() != 16 {
+		t.Fatalf("DGX-2 size = %d", comm.Size())
+	}
+	res, err := comm.AllReduce(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "one-hop" {
+		t.Fatalf("DGX-2 Blink strategy = %q", res.Strategy)
+	}
+	p, err := comm.Trees(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root != 3 {
+		t.Fatalf("one-hop packing root = %d", p.Root)
+	}
+	if _, err := comm.Trees(99); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestReducePublicAPI(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Reduce(0, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGBs <= 0 {
+		t.Fatal("reduce produced no throughput")
+	}
+}
+
+func TestScatterPublicAPI(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{2, 3, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comm.Scatter(0, 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGBs <= 0 {
+		t.Fatal("scatter produced no throughput")
+	}
+}

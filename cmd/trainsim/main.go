@@ -1,0 +1,61 @@
+// Command trainsim simulates one data-parallel training iteration of a CNN
+// on a GPU allocation, comparing the Blink and NCCL collective backends
+// (the per-row computation behind Figure 18).
+//
+// Usage:
+//
+//	trainsim -model resnet50 -gpus 1,4,5,7
+//	trainsim -model all -gpus 0,1,2,3,4,5,6,7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blink/internal/dnn"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func main() {
+	modelName := flag.String("model", "all", "alexnet | resnet18 | resnet50 | vgg16 | transformer | all")
+	gpus := flag.String("gpus", "0,1,2,3,4,5,6,7", "comma-separated GPU IDs on a DGX-1V")
+	flag.Parse()
+
+	var devs []int
+	for _, s := range strings.Split(*gpus, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad GPU id %q\n", s)
+			os.Exit(2)
+		}
+		devs = append(devs, d)
+	}
+
+	var models []*dnn.Model
+	for _, m := range dnn.ExtendedZoo() {
+		if *modelName == "all" || strings.EqualFold(m.Name, *modelName) {
+			models = append(models, m)
+		}
+	}
+	if len(models) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("DGX-1V GPUs %s\n", topology.AllocLabel(devs))
+	fmt.Printf("%-10s %12s %12s %10s %10s %8s\n", "model", "NCCL iter", "Blink iter", "NCCL img/s", "Blink img/s", "gain")
+	for _, m := range models {
+		c, err := dnn.Compare(m, topology.DGX1V(), devs, simgpu.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %10.1fms %10.1fms %10.0f %10.0f %7.1f%%\n",
+			m.Name, c.NCCL.IterSeconds*1e3, c.Blink.IterSeconds*1e3,
+			c.NCCL.ImagesPerSec, c.Blink.ImagesPerSec, 100*c.IterTimeReduction)
+	}
+}

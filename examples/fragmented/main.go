@@ -1,0 +1,58 @@
+// Fragmented-allocation study: walk every unique DGX-1V allocation size and
+// show how Blink's advantage over NCCL depends on which GPUs the scheduler
+// handed out (the scenario of Figures 3, 15 and 17).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blink"
+	"blink/internal/collective"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func main() {
+	machine := topology.DGX1V()
+	fmt.Println("Broadcast of 500 MB, every unique connected DGX-1V allocation:")
+	fmt.Printf("%-18s %6s %12s %12s %9s\n", "GPUs", "count", "Blink GB/s", "NCCL GB/s", "speedup")
+	for k := 3; k <= 8; k++ {
+		for _, class := range machine.UniqueConnectedAllocationClasses(k) {
+			devs := class.Representative
+			b, err := blink.NewComm(machine, devs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n, err := blink.NewComm(machine, devs, blink.WithBackend(blink.BackendNCCL))
+			if err != nil {
+				log.Fatal(err)
+			}
+			br, err := b.Broadcast(0, 500<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nr, err := n.Broadcast(0, 500<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %6d %12.1f %12.1f %8.2fx\n",
+				topology.AllocLabel(devs), len(class.Members),
+				br.ThroughputGBs, nr.ThroughputGBs, br.ThroughputGBs/nr.ThroughputGBs)
+		}
+	}
+
+	// The worst case for NCCL: an NVLink-disconnected allocation, where
+	// both libraries must use PCIe — but Blink still packs PCIe trees.
+	devs := []int{0, 1, 6}
+	eng, err := collective.NewEngine(machine, devs, simgpu.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := eng.Run(collective.Blink, collective.Broadcast, 0, 500<<20, collective.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNVLink-disconnected %s: Blink uses %q at %.1f GB/s\n",
+		topology.AllocLabel(devs), r.Strategy, r.ThroughputGBs)
+}

@@ -1,0 +1,48 @@
+// Quickstart: create a communicator over a fragmented GPU allocation and
+// compare Blink's packed-tree collectives with the NCCL ring baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blink"
+)
+
+func main() {
+	// A scheduler handed this job GPUs 1, 4, 5 and 6 on a DGX-1V — a
+	// partially connected allocation NCCL cannot build NVLink rings for.
+	devs := []int{1, 4, 5, 6}
+
+	blinkComm, err := blink.NewComm(blink.DGX1V(), devs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ncclComm, err := blink.NewComm(blink.DGX1V(), devs, blink.WithBackend(blink.BackendNCCL))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const gradients = 100 << 20 // 100 MB of fp32 gradients
+	b, err := blinkComm.AllReduce(gradients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := ncclComm.AllReduce(gradients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AllReduce of 100 MB across GPUs %v:\n", devs)
+	fmt.Printf("  Blink: %6.1f GB/s  (%s)\n", b.ThroughputGBs, b.Strategy)
+	fmt.Printf("  NCCL:  %6.1f GB/s  (%s)\n", n.ThroughputGBs, n.Strategy)
+	fmt.Printf("  speedup: %.1fx\n", b.ThroughputGBs/n.ThroughputGBs)
+
+	// Inspect the spanning trees Blink packed for this topology.
+	p, err := blinkComm.Trees(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBlink packed %d spanning trees (rate %.1f link units, optimal %.1f)\n",
+		len(p.Trees), p.Rate, p.Bound)
+}

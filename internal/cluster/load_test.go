@@ -1,0 +1,38 @@
+package cluster
+
+import "testing"
+
+// TestSimulateHighLoad drives the cluster near saturation: queueing must
+// engage (no deadlock) and fragmentation must rise versus a lightly loaded
+// cluster.
+func TestSimulateHighLoad(t *testing.T) {
+	light, err := Simulate(Config{Jobs: 5000, ArrivalRate: 2, MeanDuration: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Simulate(Config{Jobs: 5000, ArrivalRate: 40, MeanDuration: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Fragmented <= light.Fragmented {
+		t.Fatalf("heavy load fragmentation %.3f not above light load %.3f",
+			heavy.Fragmented, light.Fragmented)
+	}
+}
+
+// TestSimulateSmallCluster checks a minimal cluster still schedules
+// everything it can.
+func TestSimulateSmallCluster(t *testing.T) {
+	res, err := Simulate(Config{Servers: 2, Jobs: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 {
+		t.Fatal("no jobs on small cluster")
+	}
+	for _, j := range res.Jobs {
+		if j.Requested > 16 {
+			t.Fatalf("job larger than cluster scheduled: %d", j.Requested)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestSimulateShape(t *testing.T) {
+	res, err := Simulate(Config{Jobs: 20000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 {
+		t.Fatal("no jobs scheduled")
+	}
+	h := res.PieceHistogram
+	// Power-of-two pieces dominate (requests are powers of two)...
+	if h[4] <= h[3] || h[8] <= h[7] || h[2] <= h[5] {
+		t.Fatalf("power-of-two pieces should dominate: %v", h)
+	}
+	// ...but fragmentation must produce non-trivial 3/5/6/7-GPU pieces
+	// (Figure 3's key observation).
+	for _, odd := range []int{3, 5, 6, 7} {
+		if h[odd] <= 0 {
+			t.Fatalf("no %d-GPU pieces at all: %v", odd, h)
+		}
+	}
+	if res.Fragmented <= 0.02 {
+		t.Fatalf("fragmentation rate %.3f implausibly low", res.Fragmented)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(Config{Jobs: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Config{Jobs: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("nondeterministic job count")
+	}
+	for g, v := range a.PieceHistogram {
+		if b.PieceHistogram[g] != v {
+			t.Fatalf("nondeterministic histogram at %d", g)
+		}
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	res, err := Simulate(Config{Jobs: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		sum := 0
+		for _, p := range j.Pieces {
+			sum += p
+		}
+		if sum != j.Requested {
+			t.Fatalf("job %d got %d GPUs, requested %d", j.ID, sum, j.Requested)
+		}
+		for _, p := range j.Pieces {
+			if p < 1 || p > 8 {
+				t.Fatalf("job %d has piece of %d GPUs", j.ID, p)
+			}
+		}
+	}
+}
+
+func TestPlace(t *testing.T) {
+	// Exact fit preferred.
+	got := place([]int{8, 3, 5}, 3)
+	if len(got) != 1 || got[1] != 3 {
+		t.Fatalf("place exact = %v", got)
+	}
+	// Split when nothing fits.
+	got = place([]int{3, 5, 2}, 8)
+	total := 0
+	for _, g := range got {
+		total += g
+	}
+	if total != 8 || len(got) < 2 {
+		t.Fatalf("place split = %v", got)
+	}
+}

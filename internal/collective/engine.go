@@ -1,0 +1,414 @@
+// Package collective is the user-facing runtime of the reproduction: it
+// wires topology probing, tree generation, schedule compilation and the
+// simulated fabric into NCCL-style collective calls, for both the Blink
+// backend (packed spanning trees, one-hop trees, hybrid transfers) and the
+// NCCL baseline (NVLink rings with PCIe fallback, double binary trees).
+package collective
+
+import (
+	"fmt"
+
+	"blink/internal/core"
+	"blink/internal/graph"
+	"blink/internal/ring"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// Backend selects the scheduling strategy.
+type Backend int
+
+const (
+	// Blink packs spanning trees (§3) and generates chunked pipelined
+	// schedules (§4).
+	Blink Backend = iota
+	// NCCL models the ring/double-binary-tree baseline.
+	NCCL
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == Blink {
+		return "Blink"
+	}
+	return "NCCL"
+}
+
+// Op identifies a collective primitive.
+type Op int
+
+const (
+	Broadcast Op = iota
+	Gather
+	AllReduce
+	AllGather
+	ReduceScatter
+	Reduce
+	Scatter
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Broadcast:
+		return "Broadcast"
+	case Gather:
+		return "Gather"
+	case AllReduce:
+		return "AllReduce"
+	case AllGather:
+		return "AllGather"
+	case ReduceScatter:
+		return "ReduceScatter"
+	case Reduce:
+		return "Reduce"
+	case Scatter:
+		return "Scatter"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// DBTreeThresholdBytes is the payload size below which NCCL 2.4 prefers
+// double binary trees over rings on switch fabrics.
+const DBTreeThresholdBytes = 512 << 10
+
+// Result reports one collective execution.
+type Result struct {
+	Seconds       float64
+	Bytes         int64
+	ThroughputGBs float64
+	// Strategy describes what was actually scheduled ("trees", "rings",
+	// "pcie-ring", "one-hop", "db-tree", "hybrid").
+	Strategy string
+}
+
+// Options tunes a collective call.
+type Options struct {
+	// ChunkBytes overrides the chunk heuristic (0 = auto).
+	ChunkBytes int64
+	// Hybrid adds PCIe trees alongside NVLink for Blink broadcasts (§3.4).
+	Hybrid bool
+	// DataMode moves real data (functional verification).
+	DataMode bool
+}
+
+// Engine is a collective runtime bound to one induced topology.
+type Engine struct {
+	Topo *topology.Topology
+	Cfg  simgpu.Config
+
+	// Point-to-point state (DGX-1 class).
+	nvlFabric  *simgpu.Fabric
+	pcieFabric *simgpu.Fabric
+	packings   map[int]*core.Packing // per root, NVLink
+	pciePacks  map[int]*core.Packing // per root, PCIe hub
+	rings      []ring.Ring
+	ringsDone  bool
+
+	// Switch state (DGX-2 class).
+	switchFabric *simgpu.Fabric
+	logical      *graph.Graph
+	oneHop       []*core.Packing
+}
+
+// NewEngine probes the machine for the allocated devices and prepares a
+// runtime. For switch topologies devs must cover the full machine (partial
+// DGX-2 allocations see a uniform fabric anyway).
+func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engine, error) {
+	e := &Engine{Cfg: cfg}
+	if machine.Kind == topology.KindDGX2 {
+		t, lg, packs, fab, err := core.NewDGX2Runtime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.Topo = t
+		e.logical = lg
+		e.oneHop = packs
+		e.switchFabric = fab
+		return e, nil
+	}
+	ind, err := machine.Induce(devs)
+	if err != nil {
+		return nil, err
+	}
+	e.Topo = ind
+	e.nvlFabric = simgpu.NewFabric(ind, ind.GPUGraph(), cfg)
+	e.pcieFabric = simgpu.NewFabric(ind, ind.PCIeGraph(), cfg)
+	e.packings = map[int]*core.Packing{}
+	e.pciePacks = map[int]*core.Packing{}
+	return e, nil
+}
+
+// Switched reports whether the engine runs on a switch fabric.
+func (e *Engine) Switched() bool { return e.switchFabric != nil }
+
+// NVLinkConnected reports whether the allocation's NVLink subgraph is
+// connected (Blink needs this to build NVLink trees; NCCL needs a full
+// ring, which is stricter).
+func (e *Engine) NVLinkConnected() bool {
+	if e.Switched() {
+		return true
+	}
+	return e.Topo.GPUGraph().Connected()
+}
+
+// packing returns (caching) the minimized NVLink tree packing for a root.
+func (e *Engine) packing(root int) (*core.Packing, error) {
+	if p, ok := e.packings[root]; ok {
+		return p, nil
+	}
+	p, err := core.GenerateTrees(e.Topo.GPUGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	e.packings[root] = p
+	return p, nil
+}
+
+// pciePacking returns (caching) the PCIe hub packing for a root.
+func (e *Engine) pciePacking(root int) (*core.Packing, error) {
+	if p, ok := e.pciePacks[root]; ok {
+		return p, nil
+	}
+	p, err := core.GenerateTrees(e.Topo.PCIeGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	e.pciePacks[root] = p
+	return p, nil
+}
+
+// ncclRings returns (caching) the NVLink rings NCCL would build.
+func (e *Engine) ncclRings() []ring.Ring {
+	if !e.ringsDone {
+		e.rings = ring.FindRings(e.Topo.GPUGraph())
+		e.ringsDone = true
+	}
+	return e.rings
+}
+
+// chunkFor picks a pipelining granularity: large payloads use 4 MiB, small
+// ones shrink so multi-hop pipelines still overlap.
+func chunkFor(bytes int64, override int64) int64 {
+	if override > 0 {
+		return override
+	}
+	c := bytes / 16
+	if c > 2<<20 {
+		c = 2 << 20
+	}
+	if c < 4 {
+		c = 4
+	}
+	if r := c % 4; r != 0 {
+		c += 4 - r
+	}
+	return c
+}
+
+// Run executes one collective and returns its simulated timing.
+func (e *Engine) Run(b Backend, op Op, root int, bytes int64, opts Options) (Result, error) {
+	if bytes < 4 {
+		return Result{}, fmt.Errorf("collective: payload %d too small", bytes)
+	}
+	chunk := chunkFor(bytes, opts.ChunkBytes)
+	// The simulator's per-link FIFO arbitration is already fair, so the
+	// stream-reuse workaround for CUDA's unfair scheduling (§4.2.2) is not
+	// needed here; separate streams let launch overheads overlap, matching
+	// asynchronous CUDA stream issue.
+	po := core.PlanOptions{ChunkBytes: chunk, DataMode: opts.DataMode, NoStreamReuse: true}
+	ro := ring.Options{ChunkBytes: chunk, DataMode: opts.DataMode}
+
+	var plan *core.Plan
+	var err error
+	strategy := ""
+
+	switch {
+	case e.Switched():
+		plan, strategy, err = e.switchPlan(b, op, root, bytes, po, ro)
+	case b == Blink:
+		plan, strategy, err = e.blinkPlan(op, root, bytes, po, opts)
+	default:
+		plan, strategy, err = e.ncclPlan(op, root, bytes, po, ro)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Seconds: res.Makespan, Bytes: bytes, Strategy: strategy}
+	if res.Makespan > 0 {
+		out.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
+	}
+	return out, nil
+}
+
+// blinkPlan compiles a Blink schedule on a point-to-point machine.
+func (e *Engine) blinkPlan(op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
+	if !e.NVLinkConnected() {
+		// NVLink alone cannot span the allocation: Blink packs PCIe trees.
+		p, err := e.pciePacking(root)
+		if err != nil {
+			return nil, "", err
+		}
+		return e.planFor(op, e.pcieFabric, p, bytes, po, "pcie-trees")
+	}
+	p, err := e.packing(root)
+	if err != nil {
+		return nil, "", err
+	}
+	if opts.Hybrid && op == Broadcast {
+		// Hybrid is handled by RunHybridBroadcast; plain Run ignores it for
+		// non-broadcast ops.
+		return nil, "", fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
+	}
+	return e.planFor(op, e.nvlFabric, p, bytes, po, "trees")
+}
+
+// ncclPlan compiles the baseline schedule on a point-to-point machine.
+func (e *Engine) ncclPlan(op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+	rings := e.ncclRings()
+	if len(rings) == 0 {
+		// Figure 2b: no NVLink ring -> PCIe fallback.
+		n := e.Topo.NumGPUs
+		switch op {
+		case Broadcast, Gather, Scatter:
+			plan, err := ring.BuildPCIeBroadcastPlan(e.pcieFabric, n, root, bytes, ro)
+			return plan, "pcie-ring", err
+		default:
+			plan, err := ring.BuildPCIeAllReducePlan(e.pcieFabric, n, bytes, ro)
+			return plan, "pcie-ring", err
+		}
+	}
+	switch op {
+	case Broadcast, Gather, Scatter:
+		plan, err := ring.BuildBroadcastPlan(e.nvlFabric, rings, root, bytes, ro)
+		return plan, "rings", err
+	default:
+		plan, err := ring.BuildAllReducePlan(e.nvlFabric, rings, bytes, ro)
+		return plan, "rings", err
+	}
+}
+
+// switchPlan compiles DGX-2 schedules.
+func (e *Engine) switchPlan(b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+	if b == Blink {
+		switch op {
+		case Broadcast, Gather, Scatter:
+			p := e.oneHop[root]
+			return e.planFor(op, e.switchFabric, p, bytes, po, "one-hop")
+		default:
+			plan, err := core.BuildDGX2AllReducePlan(e.switchFabric, e.oneHop, bytes, po)
+			return plan, "one-hop", err
+		}
+	}
+	switch op {
+	case Broadcast, Gather, Scatter:
+		lr, err := ring.BuildSwitchBroadcastPlan(e.switchFabric, root, bytes, ro)
+		return lr, "ring", err
+	default:
+		if bytes < DBTreeThresholdBytes {
+			plan, err := ring.BuildDBTreeAllReducePlan(e.switchFabric, bytes, ro)
+			return plan, "db-tree", err
+		}
+		plan, err := ring.BuildSwitchAllReducePlan(e.switchFabric, bytes, ro)
+		return plan, "ring", err
+	}
+}
+
+// planFor dispatches tree-based ops over a packing.
+func (e *Engine) planFor(op Op, f *simgpu.Fabric, p *core.Packing, bytes int64, po core.PlanOptions, strategy string) (*core.Plan, string, error) {
+	switch op {
+	case Broadcast:
+		plan, err := core.BuildBroadcastPlan(f, p, bytes, po)
+		return plan, strategy, err
+	case Gather:
+		plan, err := core.BuildGatherPlan(f, p, bytes, po)
+		return plan, strategy, err
+	case AllReduce:
+		plan, err := core.BuildAllReducePlan(f, p, bytes, po)
+		return plan, strategy, err
+	case AllGather:
+		// AllReduce without the reduction kernels has the same transfer
+		// schedule; reuse it (the paper makes the same identification).
+		plan, err := core.BuildAllReducePlan(f, p, bytes, po)
+		return plan, strategy + "+allgather", err
+	case ReduceScatter:
+		plan, _, err := core.BuildReducePlan(f, p, bytes, po)
+		return plan, strategy + "+reducescatter", err
+	case Reduce:
+		plan, _, err := core.BuildReducePlan(f, p, bytes, po)
+		return plan, strategy + "+reduce", err
+	case Scatter:
+		plan, err := core.BuildScatterPlan(f, p, bytes, po)
+		return plan, strategy + "+scatter", err
+	default:
+		return nil, "", fmt.Errorf("collective: unsupported op %v", op)
+	}
+}
+
+// FabricFor returns the fabric the given backend's plans move data over:
+// the switch fabric on a DGX-2, otherwise the NVLink plane (or the PCIe
+// plane when the backend must fall back to it).
+func (e *Engine) FabricFor(b Backend) *simgpu.Fabric {
+	if e.Switched() {
+		return e.switchFabric
+	}
+	if b == Blink {
+		if e.NVLinkConnected() {
+			return e.nvlFabric
+		}
+		return e.pcieFabric
+	}
+	if len(e.ncclRings()) > 0 {
+		return e.nvlFabric
+	}
+	return e.pcieFabric
+}
+
+// Packing exposes the minimized spanning-tree packing the Blink backend
+// uses for the given root (one-hop trees on a DGX-2).
+func (e *Engine) Packing(root int) (*core.Packing, error) {
+	if e.Switched() {
+		if root < 0 || root >= len(e.oneHop) {
+			return nil, fmt.Errorf("collective: root %d out of range", root)
+		}
+		return e.oneHop[root], nil
+	}
+	if !e.NVLinkConnected() {
+		return e.pciePacking(root)
+	}
+	return e.packing(root)
+}
+
+// RunHybridBroadcast executes Blink's hybrid PCIe+NVLink broadcast (§3.4).
+func (e *Engine) RunHybridBroadcast(root int, bytes int64, opts Options) (Result, *core.HybridResult, error) {
+	if e.Switched() {
+		return Result{}, nil, fmt.Errorf("collective: hybrid transfers target DGX-1 class machines")
+	}
+	if !e.NVLinkConnected() {
+		return Result{}, nil, fmt.Errorf("collective: hybrid requires a connected NVLink allocation")
+	}
+	pn, err := e.packing(root)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	pp, err := e.pciePacking(root)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	po := core.PlanOptions{ChunkBytes: chunkFor(bytes, opts.ChunkBytes), DataMode: opts.DataMode, NoStreamReuse: true}
+	h, err := core.BuildHybridBroadcast(e.nvlFabric, pn, e.pcieFabric, pp, bytes, po)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return Result{
+		Seconds:       h.Makespan,
+		Bytes:         bytes,
+		ThroughputGBs: h.ThroughputGBs,
+		Strategy:      "hybrid",
+	}, h, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"blink/internal/simgpu"
+)
+
+// CompiledSchedule is the serializable artifact CodeGen produces — the
+// analog of the paper's generated libblink.so: a self-contained description
+// of the link table and the op DAG that can be saved once per (topology,
+// collective, size) and replayed without re-running TreeGen. Exec closures
+// (data movement) are not serialized; a loaded schedule is timing-only.
+type CompiledSchedule struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Name describes the collective ("broadcast root=0 bytes=...").
+	Name  string         `json:"name"`
+	Links []CompiledLink `json:"links"`
+	Ops   []CompiledOp   `json:"ops"`
+	// TotalBytes is the collective's payload size.
+	TotalBytes int64 `json:"totalBytes"`
+	Streams    int   `json:"streams"`
+}
+
+// CompiledLink mirrors simgpu.Link.
+type CompiledLink struct {
+	BW      float64 `json:"bw"`
+	Latency float64 `json:"latency,omitempty"`
+	Label   string  `json:"label,omitempty"`
+}
+
+// CompiledOp mirrors simgpu.Op without the Exec closure.
+type CompiledOp struct {
+	Stream   int     `json:"stream"`
+	Link     int     `json:"link"`
+	Links    []int   `json:"links,omitempty"`
+	Bytes    int64   `json:"bytes,omitempty"`
+	Overhead float64 `json:"overhead,omitempty"`
+	Deps     []int   `json:"deps,omitempty"`
+	Label    string  `json:"label,omitempty"`
+}
+
+const compiledVersion = 1
+
+// Compile converts an executable plan into its serializable form.
+func Compile(name string, plan *Plan) *CompiledSchedule {
+	cs := &CompiledSchedule{
+		Version:    compiledVersion,
+		Name:       name,
+		TotalBytes: plan.TotalBytes,
+		Streams:    plan.Streams,
+	}
+	for _, l := range plan.Fabric.Links {
+		cs.Links = append(cs.Links, CompiledLink{BW: l.BW, Latency: l.Latency, Label: l.Label})
+	}
+	for _, op := range plan.Ops {
+		cs.Ops = append(cs.Ops, CompiledOp{
+			Stream:   op.Stream,
+			Link:     op.Link,
+			Links:    append([]int(nil), op.Links...),
+			Bytes:    op.Bytes,
+			Overhead: op.Overhead,
+			Deps:     append([]int(nil), op.Deps...),
+			Label:    op.Label,
+		})
+	}
+	return cs
+}
+
+// Save writes the schedule as JSON.
+func (cs *CompiledSchedule) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cs)
+}
+
+// LoadSchedule reads a schedule back.
+func LoadSchedule(r io.Reader) (*CompiledSchedule, error) {
+	var cs CompiledSchedule
+	if err := json.NewDecoder(r).Decode(&cs); err != nil {
+		return nil, fmt.Errorf("core: decoding compiled schedule: %w", err)
+	}
+	if cs.Version != compiledVersion {
+		return nil, fmt.Errorf("core: compiled schedule version %d unsupported (want %d)", cs.Version, compiledVersion)
+	}
+	for i, op := range cs.Ops {
+		for _, d := range op.Deps {
+			if d < 0 || d >= len(cs.Ops) {
+				return nil, fmt.Errorf("core: op %d has invalid dep %d", i, d)
+			}
+		}
+		for _, l := range append(append([]int(nil), op.Links...), op.Link) {
+			if l >= len(cs.Links) {
+				return nil, fmt.Errorf("core: op %d references unknown link %d", i, l)
+			}
+		}
+	}
+	return &cs, nil
+}
+
+// Execute replays the schedule on the embedded link table and returns the
+// simulated result. The CompiledSchedule is immutable; fresh ops are built
+// per call.
+func (cs *CompiledSchedule) Execute() (simgpu.Result, error) {
+	links := make([]simgpu.Link, len(cs.Links))
+	for i, l := range cs.Links {
+		links[i] = simgpu.Link{BW: l.BW, Latency: l.Latency, Label: l.Label}
+	}
+	ops := make([]*simgpu.Op, len(cs.Ops))
+	for i, op := range cs.Ops {
+		ops[i] = &simgpu.Op{
+			Stream:   op.Stream,
+			Link:     op.Link,
+			Links:    append([]int(nil), op.Links...),
+			Bytes:    op.Bytes,
+			Overhead: op.Overhead,
+			Deps:     append([]int(nil), op.Deps...),
+			Label:    op.Label,
+		}
+	}
+	return simgpu.Run(links, ops)
+}
+
+// ThroughputGBs replays the schedule and reports payload throughput.
+func (cs *CompiledSchedule) ThroughputGBs() (float64, error) {
+	res, err := cs.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if res.Makespan <= 0 {
+		return 0, nil
+	}
+	return float64(cs.TotalBytes) / res.Makespan / 1e9, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func TestCompileRoundTrip(t *testing.T) {
+	ind, err := topology.DGX1V().Induce([]int{1, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ind.GPUGraph()
+	p, err := GenerateTrees(g, 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := simgpu.NewFabric(ind, g, simgpu.Config{})
+	plan, err := BuildAllReducePlan(f, p, 64<<20, PlanOptions{ChunkBytes: 2 << 20, NoStreamReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs := Compile("allreduce test", plan)
+	var buf bytes.Buffer
+	if err := cs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "allreduce test" || loaded.TotalBytes != plan.TotalBytes {
+		t.Fatalf("metadata lost: %+v", loaded)
+	}
+	replayed, err := loaded.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replayed.Makespan-direct.Makespan) > 1e-12 {
+		t.Fatalf("replay makespan %.12f != direct %.12f", replayed.Makespan, direct.Makespan)
+	}
+	tp, err := loaded.ThroughputGBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp <= 0 {
+		t.Fatal("replayed throughput zero")
+	}
+	// Replays are repeatable (fresh ops each call).
+	r2, err := loaded.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan != replayed.Makespan {
+		t.Fatal("second replay differs")
+	}
+}
+
+func TestLoadScheduleValidation(t *testing.T) {
+	if _, err := LoadSchedule(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadSchedule(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := LoadSchedule(strings.NewReader(`{"version":1,"links":[{"bw":1}],"ops":[{"stream":0,"link":0,"deps":[5]}]}`)); err == nil {
+		t.Fatal("bad dep accepted")
+	}
+	if _, err := LoadSchedule(strings.NewReader(`{"version":1,"links":[{"bw":1}],"ops":[{"stream":0,"link":7}]}`)); err == nil {
+		t.Fatal("bad link accepted")
+	}
+}

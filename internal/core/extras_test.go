@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func TestMIADTunerConverges(t *testing.T) {
+	// Synthetic response surface peaking at 8 MB, like Fig 12.
+	perf := func(chunk int64) float64 {
+		c := float64(chunk) / float64(8<<20)
+		if c <= 1 {
+			return 80 * c // undersized chunks: overhead bound
+		}
+		return 80 / c * 1.2 // oversized: pipeline stalls
+	}
+	tuner := NewMIADTuner(1 << 20)
+	for i := 0; i < 16 && !tuner.Steady(); i++ {
+		tuner.Observe(perf(tuner.Chunk()))
+	}
+	if !tuner.Steady() {
+		t.Fatal("tuner did not converge")
+	}
+	if len(tuner.History) < 3 {
+		t.Fatalf("tuner history too short: %d", len(tuner.History))
+	}
+	// The first phase must be multiplicative doubling (Fig 12 shape).
+	if tuner.History[1].ChunkBytes != 2*tuner.History[0].ChunkBytes {
+		t.Fatalf("second iteration chunk %d, want double of %d",
+			tuner.History[1].ChunkBytes, tuner.History[0].ChunkBytes)
+	}
+}
+
+func TestMIADTunerDefaults(t *testing.T) {
+	tuner := NewMIADTuner(0)
+	if tuner.Chunk() != 1<<20 {
+		t.Fatalf("default initial chunk = %d, want 1 MiB", tuner.Chunk())
+	}
+	// Monotonically increasing throughput keeps doubling.
+	tp := 10.0
+	for i := 0; i < 5; i++ {
+		tuner.Observe(tp)
+		tp *= 2
+	}
+	if tuner.Chunk() != 32<<20 {
+		t.Fatalf("chunk after 5 doublings = %d, want 32 MiB", tuner.Chunk())
+	}
+}
+
+func TestMIADFloor(t *testing.T) {
+	tuner := NewMIADTuner(1 << 20)
+	tuner.DecrementBytes = 4 << 20 // force a huge decrement
+	tuner.Observe(50)              // grow to 2 MiB
+	tuner.Observe(10)              // decline -> decrease below floor
+	if tuner.Chunk() < tuner.MinChunkBytes {
+		t.Fatalf("chunk %d fell below floor", tuner.Chunk())
+	}
+	if !tuner.Steady() {
+		t.Fatal("hitting the floor should settle the tuner")
+	}
+}
+
+func TestAutoTuneChunkOnFabric(t *testing.T) {
+	ind, err := topology.DGX1V().Induce([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ind.GPUGraph()
+	p, err := GenerateTrees(g, 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := simgpu.NewFabric(ind, g, simgpu.Config{})
+	best, hist, err := AutoTuneChunk(func(chunk int64) (*Plan, error) {
+		return BuildBroadcastPlan(f, p, 256<<20, PlanOptions{ChunkBytes: chunk})
+	}, 1<<20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) < 3 {
+		t.Fatalf("tuning history too short: %d", len(hist))
+	}
+	if best < 1<<20 || best > 128<<20 {
+		t.Fatalf("selected chunk %d out of plausible range", best)
+	}
+	// Throughput at the selected chunk must beat the 1 MB starting point.
+	if hist[len(hist)-1].ThroughputGBs < hist[0].ThroughputGBs {
+		lastBest := 0.0
+		for _, s := range hist {
+			if s.ThroughputGBs > lastBest {
+				lastBest = s.ThroughputGBs
+			}
+		}
+		if lastBest <= hist[0].ThroughputGBs {
+			t.Fatalf("tuning never improved on initial chunk: %+v", hist)
+		}
+	}
+}
+
+func TestHybridSplitEquation8(t *testing.T) {
+	// With zero Tdpa the split is proportional to bandwidth.
+	p, n := HybridSplit(1000<<20, 5, 20, 0)
+	ratio := float64(p) / float64(p+n)
+	if ratio < 0.19 || ratio > 0.21 {
+		t.Fatalf("PCIe share = %.3f, want 0.2", ratio)
+	}
+	// Large Tdpa on a small transfer pushes everything to NVLink.
+	p2, n2 := HybridSplit(1<<20, 5, 20, 1.0)
+	if p2 != 0 || n2 != 1<<20 {
+		t.Fatalf("small transfer split = %d/%d, want all NVLink", p2, n2)
+	}
+	// Degenerate bandwidths.
+	p3, n3 := HybridSplit(100, 0, 20, 0)
+	if p3 != 0 || n3 != 100 {
+		t.Fatal("zero PCIe bw should route everything to NVLink")
+	}
+	// Alignment.
+	p4, _ := HybridSplit(1000<<20, 7, 23, 0.001)
+	if p4%4 != 0 {
+		t.Fatalf("PCIe bytes %d not float-aligned", p4)
+	}
+}
+
+func TestBuildHybridBroadcast(t *testing.T) {
+	ind, err := topology.DGX1V().Induce([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := ind.GPUGraph()
+	pn, err := GenerateTrees(gn, 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := ind.PCIeGraph()
+	pp, err := GenerateTrees(gp, 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simgpu.Config{}
+	fn := simgpu.NewFabric(ind, gn, cfg)
+	fp := simgpu.NewFabric(ind, gp, cfg)
+
+	res, err := BuildHybridBroadcast(fn, pn, fp, pp, 500<<20, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCIeBytes <= 0 {
+		t.Fatal("hybrid split assigned nothing to PCIe for a 500MB transfer")
+	}
+	// Hybrid must beat NVLink-only (Fig 21: +2-5 GB/s).
+	nvlOnly, err := BuildBroadcastPlan(fn, pn, 500<<20, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvlTp, err := nvlOnly.ThroughputGBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGBs <= nvlTp {
+		t.Fatalf("hybrid %.1f GB/s not faster than NVLink-only %.1f", res.ThroughputGBs, nvlTp)
+	}
+	if gain := res.ThroughputGBs - nvlTp; gain > 10 {
+		t.Fatalf("hybrid gain %.1f GB/s implausibly large", gain)
+	}
+}
+
+func TestMergePlansPreservesOps(t *testing.T) {
+	ind, err := topology.DGX1V().Induce([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ind.GPUGraph()
+	p, err := GenerateTrees(g, 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := simgpu.NewFabric(ind, g, simgpu.Config{})
+	a, err := BuildBroadcastPlan(f, p, 16<<20, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBroadcastPlan(f, p, 16<<20, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergePlans(f, a, b)
+	if len(m.Ops) != len(a.Ops)+len(b.Ops) {
+		t.Fatalf("merged ops = %d, want %d", len(m.Ops), len(a.Ops)+len(b.Ops))
+	}
+	if m.TotalBytes != a.TotalBytes+b.TotalBytes {
+		t.Fatal("merged bytes wrong")
+	}
+	if _, err := m.Execute(); err != nil {
+		t.Fatalf("merged plan deadlocked: %v", err)
+	}
+	// Originals still executable (merge must not mutate them).
+	if _, err := a.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiServerAllReduce(t *testing.T) {
+	c, err := topology.NewCluster([]topology.Server{
+		{Machine: topology.DGX1V(), Devs: []int{0, 1, 2}},
+		{Machine: topology.DGX1V(), Devs: []int{0, 1, 2, 3, 4}},
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiServerAllReduce(c, simgpu.Config{}, 100<<20, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 3 {
+		t.Fatalf("partitions = %d, want min-server GPUs = 3", res.Partitions)
+	}
+	if res.Phase1 <= 0 || res.Phase2 <= 0 || res.Phase3 <= 0 {
+		t.Fatalf("phases not all positive: %+v", res)
+	}
+	// With 40 Gbps NICs, the cross-machine phase dominates (§5.4).
+	if res.Phase2 < res.Phase1 || res.Phase2 < res.Phase3 {
+		t.Fatalf("phase2 should dominate with commodity NICs: %+v", res)
+	}
+	if res.ThroughputGBs <= 0 || res.ThroughputGBs > 10 {
+		t.Fatalf("multi-server throughput %.2f GB/s implausible with 5 GB/s NICs", res.ThroughputGBs)
+	}
+}
+
+func TestMultiServerNICScaling(t *testing.T) {
+	// Fig 22b: raising NIC bandwidth raises Blink's AllReduce throughput
+	// until intra-server links bind.
+	prev := 0.0
+	for _, gbps := range []float64{40, 100, 400} {
+		c, err := topology.NewCluster([]topology.Server{
+			{Machine: topology.DGX1V(), Devs: []int{0, 1, 2}},
+			{Machine: topology.DGX1V(), Devs: []int{0, 1, 2, 3, 4}},
+		}, gbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MultiServerAllReduce(c, simgpu.Config{}, 100<<20, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ThroughputGBs <= prev {
+			t.Fatalf("throughput did not scale with NIC: %.2f at %v Gbps (prev %.2f)", res.ThroughputGBs, gbps, prev)
+		}
+		prev = res.ThroughputGBs
+	}
+}

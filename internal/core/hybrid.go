@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"blink/internal/simgpu"
+)
+
+// Hybrid PCIe + NVLink transfers, §3.4: the NVIDIA driver cannot mix the
+// two fabrics in one topology, so Blink builds separate tree sets over each
+// and splits the payload to equalize finishing times, accounting for the
+// latency of cudaDeviceDisablePeerAccess (Tdpa) on the PCIe side:
+//
+//	T_pcie + Tdpa = T_nvl
+//	D_pcie = D*BWp/(BWp+BWn) - Tdpa*BWp*BWn/(BWp+BWn),  D_nvl = D - D_pcie
+
+// HybridSplit solves Equation 8. Bandwidths are in GB/s, tdpa in seconds.
+// The PCIe share is clamped to [0, total] (tiny transfers skip PCIe
+// entirely because Tdpa would dominate).
+func HybridSplit(total int64, bwPCIeGBs, bwNVLGBs, tdpa float64) (pcie, nvl int64) {
+	if bwPCIeGBs <= 0 || bwNVLGBs <= 0 {
+		return 0, total
+	}
+	bp := bwPCIeGBs * 1e9
+	bn := bwNVLGBs * 1e9
+	d := float64(total)*bp/(bp+bn) - tdpa*bp*bn/(bp+bn)
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(total) {
+		d = float64(total)
+	}
+	pcie = (int64(d) / 4) * 4 // float32 aligned
+	return pcie, total - pcie
+}
+
+// HybridResult reports a hybrid transfer's composition and timing.
+type HybridResult struct {
+	NVLBytes, PCIeBytes int64
+	NVLTime, PCIeTime   float64
+	Tdpa                float64
+	Makespan            float64
+	ThroughputGBs       float64
+}
+
+// BuildHybridBroadcast splits a broadcast across the NVLink and PCIe
+// fabrics (each with its own packing), sizes the shares with Equation 8
+// using probe-measured effective bandwidths (Blink measures Tdpa and rates
+// during its initial calls), executes both plans, and composes the result:
+// the fabrics run concurrently, with the PCIe side paying Tdpa up front.
+func BuildHybridBroadcast(fNVL *simgpu.Fabric, pNVL *Packing, fPCIe *simgpu.Fabric, pPCIe *Packing, bytes int64, opts PlanOptions) (*HybridResult, error) {
+	if bytes < 8 {
+		return nil, fmt.Errorf("core: hybrid payload too small")
+	}
+	probe := func(f *simgpu.Fabric, p *Packing) (float64, error) {
+		plan, err := BuildBroadcastPlan(f, p, 64<<20, opts)
+		if err != nil {
+			return 0, err
+		}
+		return plan.ThroughputGBs()
+	}
+	bwN, err := probe(fNVL, pNVL)
+	if err != nil {
+		return nil, fmt.Errorf("core: NVLink probe: %w", err)
+	}
+	bwP, err := probe(fPCIe, pPCIe)
+	if err != nil {
+		return nil, fmt.Errorf("core: PCIe probe: %w", err)
+	}
+	cfg := fNVL.Cfg
+	tdpa := cfg.DisablePeerBase + cfg.DisablePeerPerGPU*float64(fNVL.Topo.NumGPUs)
+
+	// Blink measures effective rates during the initial calls; emulate that
+	// with a few rebalancing iterations: split using the current bandwidth
+	// estimates, execute, then refine the estimates from the measured times.
+	var best *HybridResult
+	for iter := 0; iter < 4; iter++ {
+		pcieBytes, nvlBytes := HybridSplit(bytes, bwP, bwN, tdpa)
+		res := &HybridResult{NVLBytes: nvlBytes, PCIeBytes: pcieBytes, Tdpa: tdpa}
+		if nvlBytes >= 4 {
+			plan, err := BuildBroadcastPlan(fNVL, pNVL, nvlBytes, opts)
+			if err != nil {
+				return nil, err
+			}
+			r, err := plan.Execute()
+			if err != nil {
+				return nil, err
+			}
+			res.NVLTime = r.Makespan
+		}
+		if pcieBytes >= 4 {
+			plan, err := BuildBroadcastPlan(fPCIe, pPCIe, pcieBytes, opts)
+			if err != nil {
+				return nil, err
+			}
+			r, err := plan.Execute()
+			if err != nil {
+				return nil, err
+			}
+			res.PCIeTime = r.Makespan + tdpa
+		}
+		res.Makespan = res.NVLTime
+		if res.PCIeTime > res.Makespan {
+			res.Makespan = res.PCIeTime
+		}
+		if res.Makespan > 0 {
+			res.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
+		}
+		if best == nil || res.Makespan < best.Makespan {
+			best = res
+		}
+		// Refine estimates with measured effective bandwidths.
+		if res.NVLTime > 0 {
+			bwN = float64(res.NVLBytes) / res.NVLTime / 1e9
+		}
+		if res.PCIeTime > tdpa && res.PCIeBytes > 0 {
+			bwP = float64(res.PCIeBytes) / (res.PCIeTime - tdpa) / 1e9
+		} else if res.PCIeBytes == 0 {
+			break // nothing assigned to PCIe; split is stable
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"blink/internal/graph"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// MergePlans combines plans built over the same fabric into one concurrent
+// plan: op dependencies are re-indexed and stream IDs offset so the merged
+// schedule preserves each plan's internal ordering while sharing links.
+func MergePlans(f *simgpu.Fabric, plans ...*Plan) *Plan {
+	out := &Plan{Fabric: f}
+	streamBase := 0
+	for _, p := range plans {
+		base := len(out.Ops)
+		for _, op := range p.Ops {
+			cp := *op
+			cp.Stream = streamBase + op.Stream
+			cp.Deps = make([]int, len(op.Deps))
+			for i, d := range op.Deps {
+				cp.Deps[i] = base + d
+			}
+			out.Ops = append(out.Ops, &cp)
+		}
+		streamBase += p.Streams
+		out.Streams += p.Streams
+		out.TotalBytes += p.TotalBytes
+	}
+	return out
+}
+
+// BuildDGX2AllReducePlan compiles Blink's DGX-2 AllReduce (§3.5): the
+// payload splits into one share per GPU; every GPU roots a one-hop
+// reduce-broadcast over its share, and all m root plans execute
+// concurrently through the switch fabric.
+func BuildDGX2AllReducePlan(f *simgpu.Fabric, packs []*Packing, bytes int64, opts PlanOptions) (*Plan, error) {
+	m := len(packs)
+	if m == 0 {
+		return nil, fmt.Errorf("core: no one-hop packings")
+	}
+	share := bytes / int64(m)
+	share -= share % 4
+	if share < 4 {
+		return nil, fmt.Errorf("core: payload %d too small for %d roots", bytes, m)
+	}
+	plans := make([]*Plan, 0, m)
+	for i, p := range packs {
+		b := share
+		if i == m-1 {
+			b = bytes - share*int64(m-1)
+			b -= b % 4
+		}
+		rootOpts := opts
+		rootOpts.OffsetFloats = int(share/4) * i
+		plan, err := BuildAllReducePlan(f, p, b, rootOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: root %d plan: %w", p.Root, err)
+		}
+		plans = append(plans, plan)
+	}
+	return MergePlans(f, plans...), nil
+}
+
+// NewDGX2Runtime builds the logical graph, one-hop packings and switch
+// fabric for a DGX-2 in one call.
+func NewDGX2Runtime(cfg simgpu.Config) (*topology.Topology, *graph.Graph, []*Packing, *simgpu.Fabric, error) {
+	t := topology.DGX2()
+	lg := topology.DGX2Logical()
+	packs, err := OneHopTrees(t, lg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	f := simgpu.NewSwitchFabric(t, lg, topology.DGX2LinksPerGPU, cfg)
+	return t, lg, packs, f, nil
+}

@@ -1,0 +1,689 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"blink/internal/graph"
+	"blink/internal/simgpu"
+)
+
+// Buffer tags used by generated plans (see simgpu.Fabric.Buffer).
+const (
+	// BufData is the collective payload (input at the root for Broadcast,
+	// per-device input and final result for AllReduce).
+	BufData = 0
+	// BufAcc is the running reduction accumulator.
+	BufAcc = 1
+	// BufScratchBase + srcDevice tags per-sender receive staging areas.
+	BufScratchBase = 8
+)
+
+// PlanOptions controls schedule generation (CodeGen, §4.1-4.2).
+type PlanOptions struct {
+	// ChunkBytes is the pipelining granularity. 0 selects 4 MiB. Values are
+	// rounded up to multiples of 4 bytes (one float32).
+	ChunkBytes int64
+	// NoStreamReuse disables the §4.2.2 fair-sharing optimization that maps
+	// (link, hop-depth) pairs from different trees onto one stream.
+	NoStreamReuse bool
+	// DataMode generates Exec closures that move real float32 data.
+	DataMode bool
+	// OffsetFloats shifts the plan's buffer region: the plan covers floats
+	// [OffsetFloats, OffsetFloats+bytes/4). Used when several plans (e.g.
+	// the per-root DGX-2 one-hop plans) partition one logical buffer.
+	OffsetFloats int
+}
+
+func (o *PlanOptions) setDefaults() {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 4 << 20
+	}
+	if r := o.ChunkBytes % 4; r != 0 {
+		o.ChunkBytes += 4 - r
+	}
+}
+
+// Plan is an executable schedule over a fabric.
+type Plan struct {
+	Ops        []*simgpu.Op
+	TotalBytes int64
+	Fabric     *simgpu.Fabric
+	// Streams is the number of distinct streams the plan uses.
+	Streams int
+}
+
+// Execute runs the plan and returns the simulated result.
+func (p *Plan) Execute() (simgpu.Result, error) { return p.Fabric.Run(p.Ops) }
+
+// ThroughputGBs runs the plan and reports TotalBytes/makespan in GB/s.
+func (p *Plan) ThroughputGBs() (float64, error) {
+	res, err := p.Execute()
+	if err != nil {
+		return 0, err
+	}
+	if res.Makespan <= 0 {
+		return 0, nil
+	}
+	return float64(p.TotalBytes) / res.Makespan / 1e9, nil
+}
+
+// treeShape caches per-tree structure used by the generators.
+type treeShape struct {
+	parentEdge []int // vertex -> incoming tree edge (-1 at root)
+	children   map[int][]int
+	bfs        []int // vertices in BFS order from root
+	depth      []int // vertex depth
+	subtree    []int // subtree vertex counts
+}
+
+func shapeOf(g *graph.Graph, a graph.Arborescence) (*treeShape, error) {
+	parent, err := a.Parents(g)
+	if err != nil {
+		return nil, err
+	}
+	s := &treeShape{parentEdge: parent, children: map[int][]int{}, depth: make([]int, g.N), subtree: make([]int, g.N)}
+	// Children follow the arborescence's edge order, not vertex order: tree
+	// generators stagger fan-out order (e.g. rotated one-hop trees on the
+	// DGX-2) to avoid convoying concurrent trees on one receiver's link.
+	for _, id := range a.Edges {
+		e := g.Edges[id]
+		s.children[e.From] = append(s.children[e.From], e.To)
+	}
+	s.bfs = append(s.bfs, a.Root)
+	for i := 0; i < len(s.bfs); i++ {
+		v := s.bfs[i]
+		for _, c := range s.children[v] {
+			s.depth[c] = s.depth[v] + 1
+			s.bfs = append(s.bfs, c)
+		}
+	}
+	if len(s.bfs) != g.N {
+		return nil, fmt.Errorf("core: tree does not span graph")
+	}
+	for i := len(s.bfs) - 1; i >= 0; i-- {
+		v := s.bfs[i]
+		s.subtree[v] = 1
+		for _, c := range s.children[v] {
+			s.subtree[v] += s.subtree[c]
+		}
+	}
+	return s, nil
+}
+
+// reverseEdges maps each graph edge to an opposite-direction edge of the
+// same type (physical links are bidirectional). Parallel reverse edges are
+// assigned round-robin so multi-link pairs spread load.
+func reverseEdges(g *graph.Graph) ([]int, error) {
+	type key struct {
+		from, to int
+		ty       graph.EdgeType
+	}
+	pool := map[key][]int{}
+	for _, e := range g.Edges {
+		pool[key{e.From, e.To, e.Type}] = append(pool[key{e.From, e.To, e.Type}], e.ID)
+	}
+	next := map[key]int{}
+	rev := make([]int, len(g.Edges))
+	for _, e := range g.Edges {
+		k := key{e.To, e.From, e.Type}
+		cands := pool[k]
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("core: edge %d->%d has no reverse link", e.From, e.To)
+		}
+		rev[e.ID] = cands[next[k]%len(cands)]
+		next[k]++
+	}
+	return rev, nil
+}
+
+// region is a tree's slice of the payload, in float32 units.
+type region struct {
+	off, n int // floats
+	chunks int
+}
+
+// splitRegions divides totalFloats across trees proportionally to weight,
+// starting at base, and computes per-tree chunk counts for the given chunk
+// size.
+func splitRegions(trees []Tree, base, totalFloats int, chunkBytes int64) []region {
+	regions := make([]region, len(trees))
+	var wsum float64
+	for _, t := range trees {
+		wsum += t.Weight
+	}
+	chunkFloats := int(chunkBytes / 4)
+	off := base
+	for i, t := range trees {
+		n := int(math.Floor(float64(totalFloats) * t.Weight / wsum))
+		if i == len(trees)-1 {
+			n = base + totalFloats - off
+		}
+		regions[i] = region{off: off, n: n}
+		off += n
+	}
+	for i := range regions {
+		if regions[i].n == 0 {
+			regions[i].chunks = 0
+			continue
+		}
+		regions[i].chunks = (regions[i].n + chunkFloats - 1) / chunkFloats
+	}
+	return regions
+}
+
+func (r region) chunkSpan(k int, chunkBytes int64) (off, n int) {
+	cf := int(chunkBytes / 4)
+	off = r.off + k*cf
+	n = cf
+	if rem := r.off + r.n - off; rem < n {
+		n = rem
+	}
+	return off, n
+}
+
+// planBuilder accumulates ops and manages stream identity.
+type planBuilder struct {
+	f       *simgpu.Fabric
+	g       *graph.Graph
+	opts    PlanOptions
+	ops     []*simgpu.Op
+	streams map[[5]int]int
+}
+
+func newBuilder(f *simgpu.Fabric, opts PlanOptions) *planBuilder {
+	return &planBuilder{f: f, g: f.Graph, opts: opts, streams: map[[5]int]int{}}
+}
+
+// stream returns a stream ID. With reuse enabled, trees sharing a link at
+// the same hop depth within a phase share a stream (§4.2.2); otherwise each
+// (tree, link, phase) gets its own. leg distinguishes the two legs of a
+// store-and-forward switch transfer.
+func (b *planBuilder) stream(phase, tree, link, depth, leg int) int {
+	var key [5]int
+	if b.opts.NoStreamReuse {
+		key = [5]int{phase, tree, link, 0, leg}
+	} else {
+		key = [5]int{phase, -1, link, depth, leg}
+	}
+	id, ok := b.streams[key]
+	if !ok {
+		id = len(b.streams)
+		b.streams[key] = id
+	}
+	return id
+}
+
+func (b *planBuilder) add(op *simgpu.Op) int {
+	b.ops = append(b.ops, op)
+	return len(b.ops) - 1
+}
+
+// addTransfer emits the op(s) realizing one chunk copy over graph edge eid
+// and returns the index of the op whose completion delivers the chunk at
+// the destination. Point-to-point edges are a single op; switch-fabric
+// edges become two chained ops (source up-link, then destination down-link)
+// modeling store-and-forward through the non-blocking switch, so a transfer
+// waiting for a busy receiver never stalls the sender's port.
+func (b *planBuilder) addTransfer(phase, tree, eid, depth int, bytes int64, deps []int, exec func(), label string) int {
+	links := b.f.EdgeLinks(eid)
+	if len(links) == 1 {
+		return b.add(&simgpu.Op{
+			Stream:   b.stream(phase, tree, eid, depth, 0),
+			Link:     links[0],
+			Bytes:    bytes,
+			Overhead: b.f.Cfg.OpOverhead,
+			Deps:     deps,
+			Exec:     exec,
+			Label:    label,
+		})
+	}
+	up := b.add(&simgpu.Op{
+		Stream:   b.stream(phase, tree, eid, depth, 0),
+		Link:     links[0],
+		Bytes:    bytes,
+		Overhead: b.f.Cfg.OpOverhead,
+		Deps:     deps,
+		Label:    label + " [up]",
+	})
+	return b.add(&simgpu.Op{
+		Stream: b.stream(phase, tree, eid, depth, 1),
+		Link:   links[1],
+		Bytes:  bytes,
+		Deps:   []int{up},
+		Exec:   exec,
+		Label:  label + " [down]",
+	})
+}
+
+// copyExec builds an Exec closure copying floats [off,off+n) from srcTag on
+// device src to dstTag on device dst.
+func (b *planBuilder) copyExec(src, dst, srcTag, dstTag, off, n, bufLen int) func() {
+	if !b.opts.DataMode {
+		return nil
+	}
+	f := b.f
+	return func() {
+		sb := f.Buffer(src, srcTag, bufLen)
+		db := f.Buffer(dst, dstTag, bufLen)
+		copy(db[off:off+n], sb[off:off+n])
+	}
+}
+
+// addExec builds an Exec closure adding scratch floats into the accumulator.
+func (b *planBuilder) addExec(dev, scratchTag, off, n, bufLen int) func() {
+	if !b.opts.DataMode {
+		return nil
+	}
+	f := b.f
+	return func() {
+		acc := f.Buffer(dev, BufAcc, bufLen)
+		sc := f.Buffer(dev, scratchTag, bufLen)
+		for i := off; i < off+n; i++ {
+			acc[i] += sc[i]
+		}
+	}
+}
+
+// phase identifiers for stream keys.
+const (
+	phaseBroadcast = iota
+	phaseReduce
+	phaseGather
+)
+
+// BuildBroadcastPlan compiles a one-to-many broadcast of `bytes` from the
+// packing's root over its weighted trees: the payload splits across trees
+// by weight, each tree's share is chunked, and chunk k on an edge depends
+// on chunk k arriving at the edge's source (pipelined forwarding, Fig 11).
+func BuildBroadcastPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	bufLen := opts.OffsetFloats + totalFloats
+	regions := splitRegions(p.Trees, opts.OffsetFloats, totalFloats, opts.ChunkBytes)
+	shapes := make([]*treeShape, len(p.Trees))
+	for i, t := range p.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+	}
+	if err := emitBroadcast(b, p, shapes, regions, bufLen, nil); err != nil {
+		return nil, err
+	}
+	return &Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+// emitBroadcast generates broadcast ops. rootDeps, when non-nil, supplies
+// extra per-(tree,chunk) dependencies that must complete before the root
+// may send that chunk (used by AllReduce to chain the reduce phase).
+func emitBroadcast(b *planBuilder, p *Packing, shapes []*treeShape, regions []region, bufLen int, rootDeps [][][]int) error {
+	maxChunks := 0
+	for _, r := range regions {
+		if r.chunks > maxChunks {
+			maxChunks = r.chunks
+		}
+	}
+	// sent[tree][vertex] = op index of the copy that delivered the current
+	// chunk to vertex (for dependency chaining within chunk k).
+	sent := make([][]int, len(p.Trees))
+	for i := range sent {
+		sent[i] = make([]int, b.g.N)
+	}
+	tag := BufData
+	if rootDeps != nil {
+		tag = BufAcc // AllReduce broadcasts the reduced accumulator
+	}
+	for k := 0; k < maxChunks; k++ {
+		for ti := range p.Trees {
+			if k >= regions[ti].chunks {
+				continue
+			}
+			s := shapes[ti]
+			off, n := regions[ti].chunkSpan(k, b.opts.ChunkBytes)
+			for vi := range sent[ti] {
+				sent[ti][vi] = -1
+			}
+			for _, v := range s.bfs {
+				if v == p.Root {
+					continue
+				}
+				eid := s.parentEdge[v]
+				e := b.g.Edges[eid]
+				var deps []int
+				if up := sent[ti][e.From]; up >= 0 {
+					deps = append(deps, up)
+				} else if e.From == p.Root && rootDeps != nil {
+					deps = append(deps, rootDeps[ti][k]...)
+				}
+				sent[ti][v] = b.addTransfer(phaseBroadcast, ti, eid, s.depth[v],
+					int64(n)*4, deps,
+					b.copyExec(e.From, e.To, tag, tag, off, n, bufLen),
+					fmt.Sprintf("bcast t%d c%d %d->%d", ti, k, e.From, e.To))
+			}
+		}
+	}
+	return nil
+}
+
+// BuildReducePlan compiles a many-to-one reduction to the packing's root:
+// within each tree, leaves send their share upward; interior vertices
+// combine received chunks with their own data at line rate and forward the
+// partial result (reduce+forward, §2.2). The returned plan's final ops per
+// (tree, chunk) are recorded in RootReduceOps for chaining by AllReduce.
+func BuildReducePlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions) (*Plan, [][][]int, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	bufLen := opts.OffsetFloats + totalFloats
+	regions := splitRegions(p.Trees, opts.OffsetFloats, totalFloats, opts.ChunkBytes)
+	shapes := make([]*treeShape, len(p.Trees))
+	for i, t := range p.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return nil, nil, err
+		}
+		shapes[i] = s
+	}
+	rev, err := reverseEdges(b.g)
+	if err != nil {
+		return nil, nil, err
+	}
+	rootOps, err := emitReduce(b, p, shapes, regions, rev, bufLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, rootOps, nil
+}
+
+// emitReduce generates the reduce phase and returns rootOps[tree][chunk]:
+// the op indices whose completion means the root holds the full reduction
+// of that tree's chunk.
+func emitReduce(b *planBuilder, p *Packing, shapes []*treeShape, regions []region, rev []int, bufLen int) ([][][]int, error) {
+	maxChunks := 0
+	for _, r := range regions {
+		if r.chunks > maxChunks {
+			maxChunks = r.chunks
+		}
+	}
+	rootOps := make([][][]int, len(p.Trees))
+	for i := range rootOps {
+		rootOps[i] = make([][]int, regions[i].chunks)
+	}
+	// In data mode every device's accumulator starts as its own input;
+	// initialization is performed by the caller (see initAccumulators).
+	upSend := make([][]int, len(p.Trees)) // op index of v's upward send for current chunk
+	reduced := make([][][]int, len(p.Trees))
+	for i := range upSend {
+		upSend[i] = make([]int, b.g.N)
+		reduced[i] = make([][]int, b.g.N)
+	}
+	for k := 0; k < maxChunks; k++ {
+		for ti := range p.Trees {
+			if k >= regions[ti].chunks {
+				continue
+			}
+			s := shapes[ti]
+			off, n := regions[ti].chunkSpan(k, b.opts.ChunkBytes)
+			for vi := range upSend[ti] {
+				upSend[ti][vi] = -1
+				reduced[ti][vi] = nil
+			}
+			// Deepest-first: children's sends exist before parents reduce.
+			for i := len(s.bfs) - 1; i >= 0; i-- {
+				v := s.bfs[i]
+				// One batched reduction kernel per (vertex, chunk) combines
+				// every child's received chunk with v's own data, as a real
+				// implementation would (one kernel launch, not one per
+				// child).
+				if cs := s.children[v]; len(cs) > 0 {
+					deps := make([]int, 0, len(cs))
+					var execs []func()
+					for _, c := range cs {
+						deps = append(deps, upSend[ti][c])
+						if e := b.addExec(v, BufScratchBase+c, off, n, bufLen); e != nil {
+							execs = append(execs, e)
+						}
+					}
+					var exec func()
+					if len(execs) > 0 {
+						exec = func() {
+							for _, e := range execs {
+								e()
+							}
+						}
+					}
+					rop := &simgpu.Op{
+						Stream:   b.stream(phaseReduce, ti, -1-v, s.depth[v], 0),
+						Link:     b.f.ReduceLink(v),
+						Bytes:    int64(n) * 4 * int64(len(cs)),
+						Overhead: b.f.Cfg.ReduceOverhead,
+						Deps:     deps,
+						Exec:     exec,
+						Label:    fmt.Sprintf("reduce t%d c%d @%d", ti, k, v),
+					}
+					reduced[ti][v] = append(reduced[ti][v], b.add(rop))
+				}
+				if v == p.Root {
+					deps := reduced[ti][v]
+					if len(deps) == 0 { // single-vertex tree cannot happen (validated)
+						deps = nil
+					}
+					rootOps[ti][k] = append([]int(nil), deps...)
+					continue
+				}
+				// Upward send from v to its parent over the reverse link.
+				downE := s.parentEdge[v]
+				upE := rev[downE]
+				e := b.g.Edges[upE]
+				scratch := BufScratchBase + v
+				upSend[ti][v] = b.addTransfer(phaseReduce, ti, upE, s.depth[v],
+					int64(n)*4, append([]int(nil), reduced[ti][v]...),
+					b.copyExec(v, e.To, BufAcc, scratch, off, n, bufLen),
+					fmt.Sprintf("rsend t%d c%d %d->%d", ti, k, v, e.To))
+			}
+		}
+	}
+	return rootOps, nil
+}
+
+// initAccumulators copies every device's input into its accumulator (data
+// mode only). Returns Exec-only ops so timing is unaffected.
+func initAccumulators(b *planBuilder, bufLen int) {
+	if !b.opts.DataMode {
+		return
+	}
+	f := b.f
+	for v := 0; v < b.g.N; v++ {
+		v := v
+		b.add(&simgpu.Op{
+			Stream: b.stream(phaseReduce, 0, -1000-v, 0, 0),
+			Link:   -1,
+			Exec: func() {
+				in := f.Buffer(v, BufData, bufLen)
+				acc := f.Buffer(v, BufAcc, bufLen)
+				copy(acc, in)
+			},
+			Label: fmt.Sprintf("acc-init @%d", v),
+		})
+	}
+}
+
+// BuildAllReducePlan compiles the §3.3 AllReduce: a reduce to the root over
+// one direction of every tree followed by a broadcast of the result over
+// the other direction, chained per chunk so the broadcast of chunk k starts
+// as soon as the root finishes reducing chunk k.
+func BuildAllReducePlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	bufLen := opts.OffsetFloats + totalFloats
+	regions := splitRegions(p.Trees, opts.OffsetFloats, totalFloats, opts.ChunkBytes)
+	shapes := make([]*treeShape, len(p.Trees))
+	for i, t := range p.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+	}
+	rev, err := reverseEdges(b.g)
+	if err != nil {
+		return nil, err
+	}
+	initAccumulators(b, bufLen)
+	// Accumulator init ops must precede all reduce ops in data mode; they
+	// are zero-cost and dependency-free, so executing them first is
+	// guaranteed by their zero ready-time and unique streams.
+	rootOps, err := emitReduce(b, p, shapes, regions, rev, bufLen)
+	if err != nil {
+		return nil, err
+	}
+	if err := emitBroadcast(b, p, shapes, regions, bufLen, rootOps); err != nil {
+		return nil, err
+	}
+	return &Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+// BuildGatherPlan compiles a many-to-one gather: within each tree, a vertex
+// forwards its subtree's aggregate payload to its parent (no reduction, so
+// edge bytes grow with subtree size). Per the paper, Gather is the inverse
+// of Broadcast and achieves comparable throughput when the per-vertex
+// contribution is bytes/N.
+func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	totalFloats := int(bytes / 4)
+	n := b.g.N
+	if totalFloats < n {
+		return nil, fmt.Errorf("core: payload too small (%d bytes for %d devices)", bytes, n)
+	}
+	perVertex := totalFloats / n
+	regions := splitRegions(p.Trees, 0, perVertex, b.opts.ChunkBytes)
+	shapes := make([]*treeShape, len(p.Trees))
+	for i, t := range p.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+	}
+	rev, err := reverseEdges(b.g)
+	if err != nil {
+		return nil, err
+	}
+	upSend := make([]int, b.g.N)
+	maxChunks := 0
+	for _, r := range regions {
+		if r.chunks > maxChunks {
+			maxChunks = r.chunks
+		}
+	}
+	for k := 0; k < maxChunks; k++ {
+		for ti := range p.Trees {
+			if k >= regions[ti].chunks {
+				continue
+			}
+			s := shapes[ti]
+			_, nfl := regions[ti].chunkSpan(k, b.opts.ChunkBytes)
+			for vi := range upSend {
+				upSend[vi] = -1
+			}
+			for i := len(s.bfs) - 1; i >= 0; i-- {
+				v := s.bfs[i]
+				if v == p.Root {
+					continue
+				}
+				upE := rev[s.parentEdge[v]]
+				var deps []int
+				for _, c := range s.children[v] {
+					if upSend[c] >= 0 {
+						deps = append(deps, upSend[c])
+					}
+				}
+				upSend[v] = b.addTransfer(phaseGather, ti, upE, s.depth[v],
+					int64(s.subtree[v])*int64(nfl)*4, deps, nil,
+					fmt.Sprintf("gather t%d c%d %d up", ti, k, v))
+			}
+		}
+	}
+	return &Plan{Ops: b.ops, TotalBytes: int64(perVertex) * int64(n) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+// BuildScatterPlan compiles a one-to-many scatter: the root distributes a
+// distinct bytes/N shard to every rank. Within each tree, the transfer to a
+// vertex carries its whole subtree's shards (the inverse of Gather), so
+// edge bytes shrink toward the leaves.
+func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	totalFloats := int(bytes / 4)
+	n := b.g.N
+	if totalFloats < n {
+		return nil, fmt.Errorf("core: payload too small (%d bytes for %d devices)", bytes, n)
+	}
+	perVertex := totalFloats / n
+	// An edge near the root carries up to (n-1) vertices' shards per chunk,
+	// so scale the chunk unit down by the fan-out to keep root-edge ops
+	// near the configured chunk size (preserving pipelining).
+	chunkOpts := b.opts
+	if unit := b.opts.ChunkBytes / int64(n-1); unit >= 4 {
+		chunkOpts.ChunkBytes = unit - unit%4
+	} else {
+		chunkOpts.ChunkBytes = 4
+	}
+	regions := splitRegions(p.Trees, 0, perVertex, chunkOpts.ChunkBytes)
+	shapes := make([]*treeShape, len(p.Trees))
+	for i, t := range p.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+	}
+	sent := make([]int, b.g.N)
+	maxChunks := 0
+	for _, r := range regions {
+		if r.chunks > maxChunks {
+			maxChunks = r.chunks
+		}
+	}
+	for k := 0; k < maxChunks; k++ {
+		for ti := range p.Trees {
+			if k >= regions[ti].chunks {
+				continue
+			}
+			s := shapes[ti]
+			_, nfl := regions[ti].chunkSpan(k, chunkOpts.ChunkBytes)
+			for vi := range sent {
+				sent[vi] = -1
+			}
+			for _, v := range s.bfs {
+				if v == p.Root {
+					continue
+				}
+				eid := s.parentEdge[v]
+				e := b.g.Edges[eid]
+				var deps []int
+				if up := sent[e.From]; up >= 0 {
+					deps = append(deps, up)
+				}
+				sent[v] = b.addTransfer(phaseBroadcast, ti, eid, s.depth[v],
+					int64(s.subtree[v])*int64(nfl)*4, deps, nil,
+					fmt.Sprintf("scatter t%d c%d ->%d", ti, k, v))
+			}
+		}
+	}
+	return &Plan{Ops: b.ops, TotalBytes: int64(perVertex) * int64(n) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}

@@ -1,0 +1,217 @@
+// Package dnn models data-parallel DNN training for the end-to-end
+// experiments (Figures 5, 18 and 22a): per-layer gradient sizes for the
+// four CNNs the paper trains on ImageNet-1K, per-generation compute times,
+// and a wait-free-backpropagation timeline that overlaps gradient
+// AllReduce with the backward pass.
+package dnn
+
+import (
+	"blink/internal/topology"
+)
+
+// Layer is one parameter tensor (or fused bucket) of a model.
+type Layer struct {
+	Name  string
+	Bytes int64 // fp32 gradient bytes
+}
+
+// Model describes a CNN for data-parallel training.
+type Model struct {
+	Name string
+	// Layers are in forward order; backward produces gradients in reverse.
+	Layers []Layer
+	// BatchPerGPU is the per-GPU minibatch the paper uses (largest fitting
+	// in memory, per the original papers).
+	BatchPerGPU int
+	// Compute holds per-generation forward+backward seconds per iteration.
+	Compute map[topology.Gen]ComputeTime
+}
+
+// ComputeTime splits an iteration's compute.
+type ComputeTime struct {
+	Fwd float64
+	Bwd float64
+}
+
+// TotalBytes sums the model's gradient bytes.
+func (m *Model) TotalBytes() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.Bytes
+	}
+	return s
+}
+
+const mb = 1 << 20
+
+// mbBytes converts megabytes to bytes, float32-aligned.
+func mbBytes(m float64) int64 {
+	b := int64(m * mb)
+	return b - b%4
+}
+
+// conv/fc layer byte helpers (params x 4 bytes, approximate shapes).
+func layers(ls ...Layer) []Layer { return ls }
+
+// AlexNet: 61.1M parameters, dominated by the fully connected layers.
+func AlexNet() *Model {
+	return &Model{
+		Name:        "AlexNet",
+		BatchPerGPU: 128,
+		Layers: layers(
+			Layer{"conv1", mbBytes(0.14)},
+			Layer{"conv2", mbBytes(1.17)},
+			Layer{"conv3", mbBytes(3.37)},
+			Layer{"conv4", mbBytes(2.53)},
+			Layer{"conv5", mbBytes(1.69)},
+			Layer{"fc6", mbBytes(144.0)},
+			Layer{"fc7", mbBytes(64.0)},
+			Layer{"fc8", mbBytes(15.6)},
+		),
+		Compute: map[topology.Gen]ComputeTime{
+			topology.GenV100: {Fwd: 0.025, Bwd: 0.050},
+			topology.GenP100: {Fwd: 0.040, Bwd: 0.080},
+		},
+	}
+}
+
+// ResNet18: 11.7M parameters across many small convolutions.
+func ResNet18() *Model {
+	ls := []Layer{{"conv1", mbBytes(0.04)}}
+	stage := []struct {
+		name  string
+		count int
+		each  float64
+	}{
+		{"layer1", 4, 0.14}, {"layer2", 4, 0.56}, {"layer3", 4, 2.25}, {"layer4", 4, 9.0},
+	}
+	for _, s := range stage {
+		for i := 0; i < s.count; i++ {
+			ls = append(ls, Layer{s.name, mbBytes(s.each)})
+		}
+	}
+	ls = append(ls, Layer{"fc", mbBytes(1.95)})
+	return &Model{
+		Name:        "ResNet18",
+		BatchPerGPU: 128,
+		Layers:      ls,
+		Compute: map[topology.Gen]ComputeTime{
+			topology.GenV100: {Fwd: 0.020, Bwd: 0.040},
+			topology.GenP100: {Fwd: 0.032, Bwd: 0.064},
+		},
+	}
+}
+
+// ResNet50: 25.6M parameters.
+func ResNet50() *Model {
+	ls := []Layer{{"conv1", mbBytes(0.04)}}
+	stage := []struct {
+		name  string
+		count int
+		each  float64
+	}{
+		{"layer1", 9, 0.095}, {"layer2", 12, 0.41}, {"layer3", 18, 1.57}, {"layer4", 9, 6.65},
+	}
+	for _, s := range stage {
+		for i := 0; i < s.count; i++ {
+			ls = append(ls, Layer{s.name, mbBytes(s.each)})
+		}
+	}
+	ls = append(ls, Layer{"fc", mbBytes(7.8)})
+	return &Model{
+		Name:        "ResNet50",
+		BatchPerGPU: 64,
+		Layers:      ls,
+		Compute: map[topology.Gen]ComputeTime{
+			topology.GenV100: {Fwd: 0.043, Bwd: 0.086},
+			topology.GenP100: {Fwd: 0.070, Bwd: 0.140},
+		},
+	}
+}
+
+// VGG16: 138.4M parameters, fc6 alone holds 102.8M.
+func VGG16() *Model {
+	return &Model{
+		Name:        "VGG16",
+		BatchPerGPU: 64,
+		Layers: layers(
+			Layer{"conv1", mbBytes(0.15)},
+			Layer{"conv2", mbBytes(0.85)},
+			Layer{"conv3", mbBytes(2.25)},
+			Layer{"conv4", mbBytes(4.5)},
+			Layer{"conv5", mbBytes(9.0)},
+			Layer{"conv6", mbBytes(9.0)},
+			Layer{"conv7", mbBytes(9.0)},
+			Layer{"conv8", mbBytes(9.0)},
+			Layer{"conv9", mbBytes(9.0)},
+			Layer{"conv10", mbBytes(3.55)},
+			Layer{"fc6", mbBytes(392.0)},
+			Layer{"fc7", mbBytes(64.0)},
+			Layer{"fc8", mbBytes(15.6)},
+		),
+		Compute: map[topology.Gen]ComputeTime{
+			topology.GenV100: {Fwd: 0.050, Bwd: 0.100},
+			topology.GenP100: {Fwd: 0.080, Bwd: 0.160},
+		},
+	}
+}
+
+// Zoo returns the four models of the paper's evaluation.
+func Zoo() []*Model {
+	return []*Model{AlexNet(), ResNet18(), ResNet50(), VGG16()}
+}
+
+// Bucketed returns a copy of the model with gradients fused into buckets of
+// at least bucketBytes, walking in backward (reverse-layer) order exactly
+// like Horovod's tensor fusion / PyTorch DDP buckets. A fused bucket sits
+// at its deepest member's position, so it becomes ready only once every
+// member gradient has been produced.
+func Bucketed(m *Model, bucketBytes int64) *Model {
+	out := &Model{Name: m.Name + "(fused)", BatchPerGPU: m.BatchPerGPU, Compute: m.Compute}
+	var pending int64
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		out.Layers = append([]Layer{{Name: "bucket", Bytes: pending}}, out.Layers...)
+		pending = 0
+	}
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		pending += m.Layers[i].Bytes
+		if pending >= bucketBytes {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TransformerBase models a BERT-Base-like encoder (110M parameters, ~420MB
+// of fp32 gradients) — an extension beyond the paper's four CNNs, included
+// because the paper's introduction motivates generality across "diverse DNN
+// workloads". Gradients are dominated by 12 uniform encoder layers plus
+// large embedding tables that finish last in the backward pass.
+func TransformerBase() *Model {
+	ls := []Layer{{"embeddings", mbBytes(89.0)}}
+	for i := 0; i < 12; i++ {
+		ls = append(ls,
+			Layer{"attention", mbBytes(9.0)},
+			Layer{"ffn", mbBytes(18.0)},
+		)
+	}
+	ls = append(ls, Layer{"pooler", mbBytes(2.3)})
+	return &Model{
+		Name:        "Transformer",
+		BatchPerGPU: 32,
+		Layers:      ls,
+		Compute: map[topology.Gen]ComputeTime{
+			topology.GenV100: {Fwd: 0.055, Bwd: 0.110},
+			topology.GenP100: {Fwd: 0.090, Bwd: 0.180},
+		},
+	}
+}
+
+// ExtendedZoo returns the paper's models plus the Transformer extension.
+func ExtendedZoo() []*Model {
+	return append(Zoo(), TransformerBase())
+}

@@ -1,0 +1,191 @@
+package dnn
+
+import (
+	"fmt"
+
+	"blink/internal/collective"
+	"blink/internal/core"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// CommFn returns the time to AllReduce a gradient tensor of the given size
+// across the training job's GPUs.
+type CommFn func(bytes int64) (float64, error)
+
+// CollectiveCallLatency is the fixed framework cost of issuing one gradient
+// AllReduce (Python/framework hook, NCCL group launch); it is what makes
+// many-small-layer models like ResNet pay overhead even at high link
+// bandwidth.
+const CollectiveCallLatency = 300e-6
+
+// EngineComm adapts a collective engine as a CommFn, caching per distinct
+// tensor size (models reuse a handful of layer shapes).
+func EngineComm(eng *collective.Engine, backend collective.Backend) CommFn {
+	cache := map[int64]float64{}
+	return func(bytes int64) (float64, error) {
+		if t, ok := cache[bytes]; ok {
+			return t, nil
+		}
+		res, err := eng.Run(backend, collective.AllReduce, 0, bytes, collective.Options{})
+		if err != nil {
+			return 0, err
+		}
+		t := res.Seconds + CollectiveCallLatency
+		cache[bytes] = t
+		return t, nil
+	}
+}
+
+// MultiServerComm adapts Blink's three-phase cross-machine AllReduce.
+func MultiServerComm(c *topology.Cluster, cfg simgpu.Config) CommFn {
+	cache := map[int64]float64{}
+	return func(bytes int64) (float64, error) {
+		if t, ok := cache[bytes]; ok {
+			return t, nil
+		}
+		res, err := core.MultiServerAllReduce(c, cfg, bytes, core.PlanOptions{NoStreamReuse: true})
+		if err != nil {
+			return 0, err
+		}
+		t := res.Total + CollectiveCallLatency
+		cache[bytes] = t
+		return t, nil
+	}
+}
+
+// AnalyticComm models a fixed effective AllReduce bandwidth (GB/s) plus a
+// per-call latency, used for the NCCL cross-machine baseline.
+func AnalyticComm(effGBs, latency float64) CommFn {
+	return func(bytes int64) (float64, error) {
+		if effGBs <= 0 {
+			return 0, fmt.Errorf("dnn: non-positive bandwidth")
+		}
+		return latency + float64(bytes)/(effGBs*1e9), nil
+	}
+}
+
+// IterStats reports one simulated training iteration.
+type IterStats struct {
+	ComputeSeconds float64
+	// CommSeconds is the total time spent in AllReduce calls (whether or
+	// not hidden by compute).
+	CommSeconds float64
+	// IterSeconds is the wall-clock iteration time with wait-free
+	// backpropagation overlap.
+	IterSeconds float64
+	// CommOverheadFrac is the fraction of the iteration not hidden behind
+	// compute: (iter - compute) / iter, the paper's "communication
+	// percentage" (Figure 5).
+	CommOverheadFrac float64
+	ImagesPerSec     float64
+}
+
+// OverlapEfficiency is the fraction of full collective bandwidth available
+// while backward compute is still running: collective reduction kernels
+// compete with training kernels for SMs and memory bandwidth, so overlap
+// during the backward pass is partial (this is why Figure 5 shows sizeable
+// overheads even under wait-free backpropagation). After compute finishes
+// the collective runs at full speed.
+const OverlapEfficiency = 0.3
+
+// SimulateIteration runs the wait-free-backpropagation timeline: backward
+// produces per-layer gradients in reverse layer order; each gradient's
+// AllReduce is enqueued as soon as it is available and the collective
+// channel processes tensors FIFO, at OverlapEfficiency of full rate while
+// compute is in flight. The iteration ends when both compute and the last
+// AllReduce finish (Poseidon/WFBP, §1).
+func SimulateIteration(m *Model, gen topology.Gen, nGPUs int, comm CommFn) (IterStats, error) {
+	ct, ok := m.Compute[gen]
+	if !ok {
+		return IterStats{}, fmt.Errorf("dnn: model %s has no compute time for %v", m.Name, gen)
+	}
+	var st IterStats
+	st.ComputeSeconds = ct.Fwd + ct.Bwd
+	nl := len(m.Layers)
+	if nl == 0 {
+		return IterStats{}, fmt.Errorf("dnn: model %s has no layers", m.Name)
+	}
+	computeEnd := st.ComputeSeconds
+	// serve advances the collective channel by `work` seconds of full-rate
+	// service starting at `start`, derating while compute is running.
+	serve := func(start, work float64) float64 {
+		if start >= computeEnd {
+			return start + work
+		}
+		overlapCapacity := (computeEnd - start) * OverlapEfficiency
+		if overlapCapacity >= work {
+			return start + work/OverlapEfficiency
+		}
+		return computeEnd + (work - overlapCapacity)
+	}
+	// Gradient of layer i (forward order) is ready after backward has
+	// walked from the top of the network down to layer i.
+	chanFree := 0.0
+	for i := nl - 1; i >= 0; i-- {
+		ready := ct.Fwd + ct.Bwd*float64(nl-i)/float64(nl)
+		dur, err := comm(m.Layers[i].Bytes)
+		if err != nil {
+			return IterStats{}, err
+		}
+		start := ready
+		if chanFree > start {
+			start = chanFree
+		}
+		chanFree = serve(start, dur)
+		st.CommSeconds += dur
+	}
+	st.IterSeconds = st.ComputeSeconds
+	if chanFree > st.IterSeconds {
+		st.IterSeconds = chanFree
+	}
+	st.CommOverheadFrac = (st.IterSeconds - st.ComputeSeconds) / st.IterSeconds
+	st.ImagesPerSec = float64(m.BatchPerGPU*nGPUs) / st.IterSeconds
+	return st, nil
+}
+
+// Comparison holds a Blink-vs-NCCL end-to-end result (Figure 18).
+type Comparison struct {
+	Model              string
+	NCCL, Blink        IterStats
+	IterTimeReduction  float64 // 1 - blinkIter/ncclIter
+	CommTimeReduction  float64 // 1 - blinkOverhead/ncclOverhead
+	ImagesPerSecFactor float64
+}
+
+// Compare trains one iteration of the model with both backends on the same
+// allocation.
+func Compare(m *Model, machine *topology.Topology, devs []int, cfg simgpu.Config) (Comparison, error) {
+	eng, err := collective.NewEngine(machine, devs, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	n := len(devs)
+	if n == 0 {
+		n = machine.NumGPUs
+	}
+	nccl, err := SimulateIteration(m, machine.Gen, n, EngineComm(eng, collective.NCCL))
+	if err != nil {
+		return Comparison{}, err
+	}
+	blink, err := SimulateIteration(m, machine.Gen, n, EngineComm(eng, collective.Blink))
+	if err != nil {
+		return Comparison{}, err
+	}
+	c := Comparison{Model: m.Name, NCCL: nccl, Blink: blink}
+	if nccl.IterSeconds > 0 {
+		c.IterTimeReduction = 1 - blink.IterSeconds/nccl.IterSeconds
+	}
+	ncclOv := nccl.IterSeconds - nccl.ComputeSeconds
+	blinkOv := blink.IterSeconds - blink.ComputeSeconds
+	if ncclOv > 1e-12 {
+		c.CommTimeReduction = 1 - blinkOv/ncclOv
+		if c.CommTimeReduction < 0 {
+			c.CommTimeReduction = 0
+		}
+	}
+	if nccl.ImagesPerSec > 0 {
+		c.ImagesPerSecFactor = blink.ImagesPerSec / nccl.ImagesPerSec
+	}
+	return c, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// Ablation quantifies the contribution of each design choice DESIGN.md
+// calls out, on the full 8-GPU DGX-1V broadcast: ILP minimization (§3.2.1),
+// chunked pipelining (§4.1), stream assignment (§4.2.2), and packing
+// multiple trees at all.
+func Ablation() (*Table, error) {
+	t := newTable("ablation", "Design-choice ablation: 8-GPU DGX-1V broadcast, 500 MB",
+		"variant", "GB/s", "vs full", "trees")
+	ind, err := topology.DGX1V().Induce([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		return nil, err
+	}
+	g := ind.GPUGraph()
+	f := simgpu.NewFabric(ind, g, simgpu.Config{})
+	vs, err := core.AblationStudy(f, g, 0, payload500MB)
+	if err != nil {
+		return nil, err
+	}
+	base := vs[0].ThroughputGBs
+	for _, v := range vs {
+		t.addRow(v.Name, fmt.Sprintf("%.1f", v.ThroughputGBs),
+			fmt.Sprintf("%.2fx", v.ThroughputGBs/base),
+			fmt.Sprintf("%d", v.Trees))
+		t.Metrics[v.Name+"_GBs"] = v.ThroughputGBs
+	}
+	t.note("every disabled feature must cost throughput; single-tree shows the value of packing")
+	return t, nil
+}

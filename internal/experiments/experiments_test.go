@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun regenerates every figure and checks headline
+// metrics against the paper's reported shape.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	tables := map[string]*Table{}
+	for _, r := range All() {
+		tb, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", r.ID)
+		}
+		tables[r.ID] = tb
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		if !strings.Contains(buf.String(), tb.ID) {
+			t.Fatalf("%s: rendering broken", r.ID)
+		}
+	}
+
+	// Fig 2: partially connected case shows a large Blink win.
+	if sp := tables["fig2"].Metrics["speedup_0,1,4"]; sp < 3 || sp > 9 {
+		t.Errorf("fig2 partial speedup = %.2f, paper ~5.5x", sp)
+	}
+	// Fig 3: fragmentation present.
+	for _, g := range []string{"pct_3", "pct_5", "pct_7"} {
+		if tables["fig3"].Metrics[g] <= 0 {
+			t.Errorf("fig3 %s = 0", g)
+		}
+	}
+	// Fig 14: packing never slower, up to ~6x on V100.
+	if m := tables["fig14"].Metrics["max_speedup_DGX-1V"]; m < 4 || m > 8 {
+		t.Errorf("fig14 max V100 speedup = %.2f, paper ~6x", m)
+	}
+	// Fig 15/16/17 geomeans: paper reports 2x / 1.6x / 2x.
+	if g := tables["fig15"].Metrics["geomean_speedup"]; g < 1.2 || g > 3.0 {
+		t.Errorf("fig15 geomean = %.2f, paper 2x", g)
+	}
+	if g := tables["fig16"].Metrics["geomean_speedup"]; g < 1.1 || g > 2.6 {
+		t.Errorf("fig16 geomean = %.2f, paper 1.6x", g)
+	}
+	if g := tables["fig17"].Metrics["geomean_speedup"]; g < 1.2 || g > 3.5 {
+		t.Errorf("fig17 geomean = %.2f, paper 2x", g)
+	}
+	if m := tables["fig17"].Metrics["max_speedup"]; m < 4 {
+		t.Errorf("fig17 max speedup = %.2f, paper up to 8x", m)
+	}
+	// Fig 18: reductions positive, bounded.
+	if m := tables["fig18"].Metrics["max_iter_reduction_pct"]; m < 15 || m > 70 {
+		t.Errorf("fig18 max iteration reduction = %.1f%%, paper up to 40%%", m)
+	}
+	// Fig 19/20: DGX-2 ratios.
+	if m := tables["fig19"].Metrics["max_throughput_ratio"]; m < 1.5 || m > 6 {
+		t.Errorf("fig19 max ratio = %.2f, paper up to 3.5x", m)
+	}
+	if m := tables["fig20"].Metrics["max_latency_ratio"]; m < 1.5 || m > 6 {
+		t.Errorf("fig20 max latency ratio = %.2f, paper up to 3.32x", m)
+	}
+	// Fig 21: positive gains that shrink with GPU count.
+	g3 := tables["fig21"].Metrics["gain_3gpu"]
+	g8 := tables["fig21"].Metrics["gain_8gpu"]
+	if g3 <= 0 || g8 <= 0 {
+		t.Errorf("fig21 gains not positive: 3gpu %.2f, 8gpu %.2f", g3, g8)
+	}
+	if g8 >= g3 {
+		t.Errorf("fig21 gain should shrink with GPU count: 3gpu %.2f <= 8gpu %.2f", g3, g8)
+	}
+	// Fig 22a: Blink faster, modest factor.
+	for _, m := range []string{"speedup_ResNet18", "speedup_VGG16"} {
+		sp := tables["fig22a"].Metrics[m]
+		if sp < 1.0 || sp > 1.6 {
+			t.Errorf("fig22a %s = %.2f, paper up to ~1.11x", m, sp)
+		}
+	}
+	// Fig 22b: Blink scales with NIC.
+	if tables["fig22b"].Metrics["blink_400gbps"] <= tables["fig22b"].Metrics["blink_40gbps"] {
+		t.Errorf("fig22b Blink did not scale with NIC speed")
+	}
+	// Tree minimization headline.
+	if tables["treemin"].Metrics["min_trees"] != 6 || tables["treemin"].Metrics["min_rate"] != 6 {
+		t.Errorf("treemin: got %v trees at rate %v, paper: 6 at 6",
+			tables["treemin"].Metrics["min_trees"], tables["treemin"].Metrics["min_rate"])
+	}
+	if tables["treemin"].Metrics["mwu_trees"] < 10 {
+		t.Errorf("treemin: MWU candidate set suspiciously small: %v", tables["treemin"].Metrics["mwu_trees"])
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig15"); !ok {
+		t.Fatal("fig15 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{1, -1}); g != 0 {
+		t.Fatalf("geomean with negative = %v", g)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("x", "title", "a", "b")
+	tb.addRow("1", "2")
+	tb.note("hello %d", 5)
+	tb.Metrics["m"] = 1.5
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"x: title", "a", "1", "hello 5", "m: 1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

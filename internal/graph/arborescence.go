@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSpanning indicates no arborescence exists because some vertex is
+// unreachable from the requested root.
+var ErrNotSpanning = errors.New("graph: no spanning arborescence from root")
+
+// MinCostArborescence computes a minimum-cost spanning arborescence rooted
+// at root using the Chu-Liu/Edmonds contraction algorithm. cost maps an edge
+// ID to its (non-negative) cost. It returns the IDs of the chosen edges and
+// their total cost.
+func MinCostArborescence(g *Graph, root int, cost func(edgeID int) float64) (Arborescence, float64, error) {
+	if root < 0 || root >= g.N {
+		return Arborescence{}, 0, errors.New("graph: root out of range")
+	}
+	if g.N == 1 {
+		return Arborescence{Root: root}, 0, nil
+	}
+
+	type cEdge struct {
+		from, to int
+		w        float64
+		lower    int // index into the previous level's edge slice (level 0: graph edge ID)
+	}
+	type level struct {
+		n      int
+		root   int
+		edges  []cEdge
+		minIn  []int   // per vertex, index into edges (-1 for root)
+		cycles [][]int // vertex lists
+		lowerN int     // number of vertices at the level below (for unwind bookkeeping)
+	}
+
+	// Level 0 edges mirror the graph.
+	cur := &level{n: g.N, root: root}
+	cur.edges = make([]cEdge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		cur.edges = append(cur.edges, cEdge{from: e.From, to: e.To, w: cost(e.ID), lower: e.ID})
+	}
+
+	var levels []*level
+	for {
+		// Select the cheapest incoming edge for every non-root vertex.
+		cur.minIn = make([]int, cur.n)
+		for v := range cur.minIn {
+			cur.minIn[v] = -1
+		}
+		for i, e := range cur.edges {
+			if e.to == cur.root || e.from == e.to {
+				continue
+			}
+			if j := cur.minIn[e.to]; j == -1 || e.w < cur.edges[j].w {
+				cur.minIn[e.to] = i
+			}
+		}
+		for v := 0; v < cur.n; v++ {
+			if v != cur.root && cur.minIn[v] == -1 {
+				return Arborescence{}, 0, ErrNotSpanning
+			}
+		}
+
+		// Detect cycles among the selected edges.
+		const (
+			unvisited = 0
+			walking   = 1
+			done      = 2
+		)
+		state := make([]int, cur.n)
+		stamp := make([]int, cur.n)
+		cycleOf := make([]int, cur.n)
+		for v := range cycleOf {
+			cycleOf[v] = -1
+		}
+		state[cur.root] = done
+		for start := 0; start < cur.n; start++ {
+			if state[start] != unvisited {
+				continue
+			}
+			// Walk predecessor pointers until a visited vertex.
+			v := start
+			for state[v] == unvisited {
+				state[v] = walking
+				stamp[v] = start
+				v = cur.edges[cur.minIn[v]].from
+				if v == cur.root {
+					break
+				}
+			}
+			if v != cur.root && state[v] == walking && stamp[v] == start {
+				// Found a fresh cycle through v.
+				cyc := []int{v}
+				u := cur.edges[cur.minIn[v]].from
+				for u != v {
+					cyc = append(cyc, u)
+					u = cur.edges[cur.minIn[u]].from
+				}
+				ci := len(cur.cycles)
+				cur.cycles = append(cur.cycles, cyc)
+				for _, u := range cyc {
+					cycleOf[u] = ci
+				}
+			}
+			// Mark the walked path as finished.
+			u := start
+			for u != cur.root && state[u] == walking && stamp[u] == start {
+				state[u] = done
+				u = cur.edges[cur.minIn[u]].from
+			}
+		}
+
+		if len(cur.cycles) == 0 {
+			break
+		}
+
+		// Contract every cycle into a single vertex.
+		comp := make([]int, cur.n)
+		for v := range comp {
+			comp[v] = -1
+		}
+		next := 0
+		for v := 0; v < cur.n; v++ {
+			if cycleOf[v] == -1 {
+				comp[v] = next
+				next++
+			}
+		}
+		cycComp := make([]int, len(cur.cycles))
+		for ci := range cur.cycles {
+			cycComp[ci] = next
+			next++
+		}
+		for v := 0; v < cur.n; v++ {
+			if ci := cycleOf[v]; ci >= 0 {
+				comp[v] = cycComp[ci]
+			}
+		}
+
+		nl := &level{n: next, root: comp[cur.root], lowerN: cur.n}
+		for i, e := range cur.edges {
+			cf, ct := comp[e.from], comp[e.to]
+			if cf == ct {
+				continue
+			}
+			w := e.w
+			if cycleOf[e.to] >= 0 {
+				w -= cur.edges[cur.minIn[e.to]].w
+			}
+			nl.edges = append(nl.edges, cEdge{from: cf, to: ct, w: w, lower: i})
+		}
+		levels = append(levels, cur)
+		cur = nl
+	}
+
+	// Picks at the innermost (cycle-free) level.
+	picks := make([]int, 0, cur.n-1)
+	for v := 0; v < cur.n; v++ {
+		if v != cur.root {
+			picks = append(picks, cur.minIn[v])
+		}
+	}
+
+	// Unwind contractions.
+	for li := len(levels) - 1; li >= 0; li-- {
+		lower := levels[li]
+		entered := make([]bool, lower.n)
+		lowPicks := make([]int, 0, lower.n-1)
+		for _, p := range picks {
+			le := cur.edges[p].lower
+			lowPicks = append(lowPicks, le)
+			entered[lower.edges[le].to] = true
+		}
+		for _, cyc := range lower.cycles {
+			for _, u := range cyc {
+				if !entered[u] {
+					lowPicks = append(lowPicks, lower.minIn[u])
+				}
+			}
+		}
+		picks = lowPicks
+		cur = lower
+	}
+
+	tree := Arborescence{Root: root, Edges: make([]int, 0, len(picks))}
+	var total float64
+	for _, p := range picks {
+		id := cur.edges[p].lower
+		tree.Edges = append(tree.Edges, id)
+		total += cost(id)
+	}
+	if err := tree.Validate(g); err != nil {
+		return Arborescence{}, 0, err
+	}
+	return tree, total, nil
+}
+
+// MaxFlow computes the maximum s-t flow using Dinic's algorithm over the
+// graph's edge capacities. It does not modify g.
+func MaxFlow(g *Graph, s, t int) float64 {
+	if s == t {
+		return math.Inf(1)
+	}
+	type arc struct {
+		to  int
+		cap float64
+		rev int
+	}
+	adj := make([][]arc, g.N)
+	addArc := func(u, v int, c float64) {
+		adj[u] = append(adj[u], arc{to: v, cap: c, rev: len(adj[v])})
+		adj[v] = append(adj[v], arc{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for _, e := range g.Edges {
+		addArc(e.From, e.To, e.Cap)
+	}
+
+	const eps = 1e-12
+	level := make([]int, g.N)
+	iter := make([]int, g.N)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue := []int{s}
+		level[s] = 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range adj[v] {
+				if a.cap > eps && level[a.to] < 0 {
+					level[a.to] = level[v] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(v int, f float64) float64
+	dfs = func(v int, f float64) float64 {
+		if v == t {
+			return f
+		}
+		for ; iter[v] < len(adj[v]); iter[v]++ {
+			a := &adj[v][iter[v]]
+			if a.cap > eps && level[v] < level[a.to] {
+				d := dfs(a.to, math.Min(f, a.cap))
+				if d > eps {
+					a.cap -= d
+					adj[a.to][a.rev].cap += d
+					return d
+				}
+			}
+		}
+		return 0
+	}
+
+	var flow float64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, math.Inf(1))
+			if f <= eps {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// BroadcastRateUpperBound returns the Edmonds/Lovász optimal broadcast rate
+// from root: the minimum over all other vertices v of maxflow(root -> v).
+// No packing of arborescences can exceed this, and a maximal packing
+// achieves it.
+func BroadcastRateUpperBound(g *Graph, root int) float64 {
+	best := math.Inf(1)
+	for v := 0; v < g.N; v++ {
+		if v == root {
+			continue
+		}
+		if f := MaxFlow(g, root, v); f < best {
+			best = f
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}

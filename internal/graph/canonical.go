@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a string that is identical for isomorphic graphs
+// (same vertex count and the same multiset of weighted adjacencies under
+// some vertex relabeling) and distinct otherwise. It brute-forces all
+// vertex permutations, so it is intended for the small (n <= 8) induced
+// topologies Blink bins GPU allocations into.
+func CanonicalKey(g *Graph) string {
+	n := g.N
+	if n == 0 {
+		return "empty"
+	}
+	if n > 10 {
+		panic("graph: CanonicalKey supports at most 10 vertices")
+	}
+
+	// Aggregate capacity per ordered pair and type.
+	type cell struct{ cap [4]float64 }
+	adj := make([][]cell, n)
+	for i := range adj {
+		adj[i] = make([]cell, n)
+	}
+	for _, e := range g.Edges {
+		adj[e.From][e.To].cap[e.Type] += e.Cap
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ""
+	var rec func(k int)
+	render := func() string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				c := adj[perm[i]][perm[j]]
+				fmt.Fprintf(&b, "%.3f/%.3f/%.3f/%.3f;", c.cap[0], c.cap[1], c.cap[2], c.cap[3])
+			}
+		}
+		return b.String()
+	}
+	rec = func(k int) {
+		if k == n {
+			s := render()
+			if best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return fmt.Sprintf("n%d|%s", n, best)
+}
+
+// Isomorphic reports whether two graphs have identical canonical keys.
+func Isomorphic(a, b *Graph) bool {
+	if a.N != b.N {
+		return false
+	}
+	return CanonicalKey(a) == CanonicalKey(b)
+}
+
+// Subsets enumerates all k-element subsets of [0, n), in lexicographic
+// order, invoking fn with a reused slice (copy it if retained).
+func Subsets(n, k int, fn func(sub []int)) {
+	if k < 0 || k > n {
+		return
+	}
+	sub := make([]int, k)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			fn(sub)
+			return
+		}
+		for v := start; v <= n-(k-idx); v++ {
+			sub[idx] = v
+			rec(v+1, idx+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// UniqueClass describes one isomorphism class of induced subgraphs.
+type UniqueClass struct {
+	Key            string
+	Representative []int   // lexicographically smallest member subset
+	Members        [][]int // all member subsets
+}
+
+// UniqueInducedClasses bins every k-vertex induced subgraph of g into
+// isomorphism classes and returns them sorted by representative.
+func UniqueInducedClasses(g *Graph, k int) []UniqueClass {
+	classes := map[string]*UniqueClass{}
+	Subsets(g.N, k, func(sub []int) {
+		cp := append([]int(nil), sub...)
+		key := CanonicalKey(g.InducedSubgraph(cp))
+		c, ok := classes[key]
+		if !ok {
+			c = &UniqueClass{Key: key, Representative: cp}
+			classes[key] = c
+		}
+		c.Members = append(c.Members, cp)
+	})
+	out := make([]UniqueClass, 0, len(classes))
+	for _, c := range classes {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Representative, out[j].Representative
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphString(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 2, PCIe)
+	s := g.String()
+	for _, want := range []string{"n=2", "0->1", "PCIe"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestArborescenceKeyStable(t *testing.T) {
+	g := New(3)
+	e01 := g.AddEdge(0, 1, 1, NVLink)
+	e12 := g.AddEdge(1, 2, 1, NVLink)
+	a := Arborescence{Root: 0, Edges: []int{e01, e12}}
+	b := Arborescence{Root: 0, Edges: []int{e12, e01}} // different order
+	if a.Key() != b.Key() {
+		t.Fatal("key should be order-independent")
+	}
+	c := Arborescence{Root: 1, Edges: []int{e01, e12}}
+	if a.Key() == c.Key() {
+		t.Fatal("different roots must have different keys")
+	}
+}
+
+func TestTotalCap(t *testing.T) {
+	g := New(3)
+	g.AddBiEdge(0, 1, 2, NVLink)
+	g.AddEdge(1, 2, 0.5, PCIe)
+	if got := g.TotalCap(); got != 4.5 {
+		t.Fatalf("TotalCap = %v, want 4.5", got)
+	}
+}
+
+func TestMaxFlowSameVertex(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1, NVLink)
+	if f := MaxFlow(g, 0, 0); f < 1e18 {
+		t.Fatalf("s==t flow should be infinite, got %v", f)
+	}
+}
+
+func TestBroadcastRateUpperBoundSingleton(t *testing.T) {
+	g := New(1)
+	if r := BroadcastRateUpperBound(g, 0); r != 0 {
+		t.Fatalf("singleton bound = %v", r)
+	}
+}
+
+func TestMinCostArborescenceBadRoot(t *testing.T) {
+	g := New(2)
+	g.AddBiEdge(0, 1, 1, NVLink)
+	if _, _, err := MinCostArborescence(g, 5, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+// Property: a canonical key is invariant under random relabelings.
+func TestCanonicalKeyRelabelInvariance(t *testing.T) {
+	base := New(5)
+	base.AddBiEdge(0, 1, 1, NVLink)
+	base.AddBiEdge(1, 2, 2, NVLink)
+	base.AddBiEdge(2, 3, 1, NVLink)
+	base.AddBiEdge(3, 4, 1, PCIe)
+	base.AddBiEdge(4, 0, 2, NVLink)
+	key := CanonicalKey(base)
+	perms := [][]int{
+		{4, 3, 2, 1, 0},
+		{1, 2, 3, 4, 0},
+		{2, 0, 4, 1, 3},
+	}
+	for _, p := range perms {
+		re := New(5)
+		for _, e := range base.Edges {
+			if e.From < e.To { // re-add each undirected pair once
+				re.AddBiEdge(p[e.From], p[e.To], e.Cap, e.Type)
+			}
+		}
+		if CanonicalKey(re) != key {
+			t.Fatalf("relabeling %v changed canonical key", p)
+		}
+	}
+}

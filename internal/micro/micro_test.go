@@ -1,0 +1,170 @@
+package micro
+
+import (
+	"testing"
+
+	"blink/internal/simgpu"
+)
+
+func tpOf(t *testing.T, plan interface {
+	ThroughputGBs() (float64, error)
+}) float64 {
+	t.Helper()
+	tp, err := plan.ThroughputGBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestChainForwardThroughput(t *testing.T) {
+	// Fig 24a: ~20-22 GB/s for 1000MB, dropping slightly with chain length.
+	var prev float64
+	for _, k := range []int{3, 5, 8} {
+		f, err := ChainFabric(k, simgpu.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := ChainForward(f, 1000<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := tpOf(t, plan)
+		if tp < 18 || tp > 23 {
+			t.Fatalf("chain-%d forward = %.1f GB/s, want ~20-22", k, tp)
+		}
+		if prev > 0 && tp > prev+0.2 {
+			t.Fatalf("throughput should not rise with depth: %d GPUs %.2f > %.2f", k, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestChainSmallSizesDrop(t *testing.T) {
+	// Fig 7: throughput falls for small payloads.
+	f, err := ChainFabric(5, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ChainReduceForward(f, 10<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ChainReduceForward(f, 1000<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpOf(t, small) >= tpOf(t, big) {
+		t.Fatal("small payload should be slower than large")
+	}
+}
+
+func TestChainReduceForwardBelowForward(t *testing.T) {
+	// Fig 24: reduce+forward trails pure forwarding slightly.
+	f, err := ChainFabric(6, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ChainForward(f, 500<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ChainReduceForward(f, 500<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwTp, rfTp := tpOf(t, fw), tpOf(t, rf)
+	if rfTp > fwTp {
+		t.Fatalf("reduce+forward %.1f should not beat forward %.1f", rfTp, fwTp)
+	}
+	if rfTp < 0.75*fwTp {
+		t.Fatalf("reduce+forward %.1f too far below forward %.1f", rfTp, fwTp)
+	}
+}
+
+func TestChainReduceBroadcastSlowest(t *testing.T) {
+	f, err := ChainFabric(6, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ChainReduceBroadcast(f, 500<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ChainReduceForward(f, 500<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbTp, rfTp := tpOf(t, rb), tpOf(t, rf)
+	if rbTp > rfTp {
+		t.Fatalf("reduce-broadcast %.1f should not beat reduce+forward %.1f", rbTp, rfTp)
+	}
+	// The doubled path costs about half, not more (bi-directional links).
+	if rbTp < 0.35*rfTp {
+		t.Fatalf("reduce-broadcast %.1f too slow vs %.1f", rbTp, rfTp)
+	}
+}
+
+func TestChainFabricErrors(t *testing.T) {
+	if _, err := ChainFabric(1, simgpu.Config{}); err == nil {
+		t.Fatal("1-GPU chain accepted")
+	}
+}
+
+func TestFanPatterns(t *testing.T) {
+	for deg := 1; deg <= 3; deg++ {
+		f, err := FanFabric(deg, simgpu.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := FanInForward(f, 512<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fir, err := FanInReduceForward(f, 512<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := FanOutForward(f, 512<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fiTp, firTp, foTp := tpOf(t, fi), tpOf(t, fir), tpOf(t, fo)
+		// Fig 26: all near peak link bandwidth; reduce costs 1-2 GB/s.
+		if foTp < 18 || foTp > 23 {
+			t.Fatalf("deg %d fan-out = %.1f GB/s", deg, foTp)
+		}
+		if firTp > fiTp {
+			t.Fatalf("deg %d: fan-in reduce %.1f beats fan-in %.1f", deg, firTp, fiTp)
+		}
+		if fiTp <= 0 {
+			t.Fatalf("deg %d: fan-in zero", deg)
+		}
+	}
+	if _, err := FanFabric(4, simgpu.Config{}); err == nil {
+		t.Fatal("fan degree above DGX-1 limit accepted")
+	}
+}
+
+func TestMIMOAndMCA(t *testing.T) {
+	// Fig 8c: ~18 GB/s for >= 100MB per flow, and the two patterns are
+	// within a couple GB/s of each other.
+	mimoTp, err := MIMO(500<<20, 4<<20, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcaTp, err := MCA(500<<20, 4<<20, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mimoTp < 15 || mimoTp > 23 {
+		t.Fatalf("MIMO = %.1f GB/s, want ~18-22", mimoTp)
+	}
+	if mcaTp < 15 || mcaTp > 23 {
+		t.Fatalf("MCA = %.1f GB/s, want ~18-22", mcaTp)
+	}
+	d := mimoTp - mcaTp
+	if d < -5 || d > 5 {
+		t.Fatalf("MIMO %.1f and MCA %.1f should be close", mimoTp, mcaTp)
+	}
+}

@@ -1,0 +1,227 @@
+package ring
+
+import (
+	"fmt"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+)
+
+// Ring AllReduce (reduce-scatter followed by all-gather), the
+// bandwidth-optimal algorithm NCCL runs on large payloads: with N ranks the
+// payload splits into N segments; during N-1 reduce-scatter steps each rank
+// forwards a segment to its successor which accumulates it, then N-1
+// all-gather steps circulate the fully reduced segments.
+
+// BuildAllReducePlan compiles a ring AllReduce over the discovered rings,
+// splitting the payload across rings.
+func BuildAllReducePlan(f *simgpu.Fabric, rings []Ring, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("ring: no rings available")
+	}
+	var lrs []logicalRing
+	for _, r := range rings {
+		lrs = append(lrs, fromRing(r))
+	}
+	return buildRingAllReduce(f, lrs, bytes, opts)
+}
+
+// BuildPCIeAllReducePlan is the PCIe fallback AllReduce over the hub graph.
+func BuildPCIeAllReducePlan(f *simgpu.Fabric, nGPUs int, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	lr, err := PCIeRing(f.Graph, nGPUs)
+	if err != nil {
+		return nil, err
+	}
+	return buildRingAllReduce(f, []logicalRing{lr}, bytes, opts)
+}
+
+// BuildSwitchAllReducePlan is NCCL's large-payload ring AllReduce on a
+// switch fabric (DGX-2).
+func BuildSwitchAllReducePlan(f *simgpu.Fabric, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	lr, err := SwitchRing(f.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return buildRingAllReduce(f, []logicalRing{lr}, bytes, opts)
+}
+
+func buildRingAllReduce(f *simgpu.Fabric, lrs []logicalRing, bytes int64, opts Options) (*core.Plan, error) {
+	totalFloats := int(bytes / 4)
+	n := len(lrs[0].verts)
+	if totalFloats < n*len(lrs) {
+		return nil, fmt.Errorf("ring: payload %d too small for %d segments x %d rings", bytes, n, len(lrs))
+	}
+	b := newBuilder(f, opts)
+
+	if opts.DataMode {
+		// Initialize accumulators from inputs before any transfer executes
+		// (zero-duration ops scheduled first; see core's acc-init note).
+		for _, lr := range lrs {
+			for _, v := range lr.verts {
+				v := v
+				b.add(&simgpu.Op{
+					Stream: b.stream(-1, v, 0, 9),
+					Link:   -1,
+					Exec: func() {
+						in := f.Buffer(v, core.BufData, totalFloats)
+						acc := f.Buffer(v, core.BufAcc, totalFloats)
+						copy(acc, in)
+					},
+					Label: fmt.Sprintf("acc-init @%d", v),
+				})
+			}
+			break // one init set is enough; buffers are shared per device
+		}
+	}
+
+	share := totalFloats / len(lrs)
+	off := 0
+	// Pipelining: the ring algorithm runs independently per slice of about
+	// ChunkBytes*N floats, so successive slices overlap across steps and
+	// across the two legs of hub/switch hops (without slicing, each
+	// step-synchronous segment transfer would serialize its legs).
+	sliceFloats := int(opts.ChunkBytes/4) * n
+	if sliceFloats < n {
+		sliceFloats = n
+	}
+	for ri, lr := range lrs {
+		regionN := share
+		if ri == len(lrs)-1 {
+			regionN = totalFloats - off
+		}
+		var carry []int
+		for so := off; so < off+regionN; so += sliceFloats {
+			sn := sliceFloats
+			if rem := off + regionN - so; rem < sn {
+				sn = rem
+			}
+			var err error
+			carry, err = emitRingAllReduce(b, f, lr, ri, so, sn, totalFloats, carry)
+			if err != nil {
+				return nil, err
+			}
+		}
+		off += regionN
+	}
+	return &core.Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+// emitRingAllReduce generates the 2(N-1) steps for one ring over the float
+// region [off, off+regionN). prevReduce carries the previous slice's final
+// per-position reduce ops: a new slice may not overwrite a receiver's
+// scratch buffer before the receiver consumed the previous slice
+// (flow-control dependency). It returns this slice's final reduce ops.
+func emitRingAllReduce(b *builder, f *simgpu.Fabric, lr logicalRing, ri, off, regionN, bufLen int, prevReduce []int) ([]int, error) {
+	n := len(lr.verts)
+	segOff := make([]int, n+1)
+	for s := 0; s <= n; s++ {
+		segOff[s] = off + s*regionN/n
+	}
+	seg := func(idx int) (int, int) { return segOff[idx], segOff[idx+1] - segOff[idx] }
+
+	reduceDone := make([]int, n) // last reduce op per position
+	agRecv := make([]int, n)
+	for i := range reduceDone {
+		reduceDone[i], agRecv[i] = -1, -1
+	}
+	if prevReduce != nil {
+		copy(reduceDone, prevReduce)
+	}
+
+	// Reduce-scatter: step s, position i sends segment (i-s) mod n.
+	for s := 0; s < n-1; s++ {
+		newReduce := make([]int, n)
+		for i := range newReduce {
+			newReduce[i] = -1
+		}
+		for pos := 0; pos < n; pos++ {
+			segIdx := ((pos-s)%n + n) % n
+			so, sn := seg(segIdx)
+			src := lr.verts[pos]
+			dstPos := (pos + 1) % n
+			dst := lr.verts[dstPos]
+			var deps []int
+			if reduceDone[pos] >= 0 {
+				deps = append(deps, reduceDone[pos])
+			}
+			// Receive-buffer availability: the destination must have
+			// consumed the previous segment before we overwrite its
+			// scratch.
+			if reduceDone[dstPos] >= 0 {
+				deps = append(deps, reduceDone[dstPos])
+			}
+			var exec func()
+			if b.opts.DataMode {
+				ff, scratch := f, core.BufScratchBase+src
+				exec = func() {
+					sb := ff.Buffer(src, core.BufAcc, bufLen)
+					db := ff.Buffer(dst, scratch, bufLen)
+					copy(db[so:so+sn], sb[so:so+sn])
+				}
+			}
+			deliver := b.addHop(ri, pos, 1, lr.hops[pos], int64(sn)*4, deps, exec,
+				fmt.Sprintf("rs r%d s%d %d->%d", ri, s, src, dst))
+			var rexec func()
+			if b.opts.DataMode {
+				ff, scratch := f, core.BufScratchBase+src
+				rexec = func() {
+					acc := ff.Buffer(dst, core.BufAcc, bufLen)
+					sc := ff.Buffer(dst, scratch, bufLen)
+					for i := so; i < so+sn; i++ {
+						acc[i] += sc[i]
+					}
+				}
+			}
+			newReduce[dstPos] = b.add(&simgpu.Op{
+				Stream:   b.stream(ri, dstPos, 0, 2),
+				Link:     f.ReduceLink(dst),
+				Bytes:    int64(sn) * 4,
+				Overhead: f.Cfg.ReduceOverhead,
+				Deps:     []int{deliver},
+				Exec:     rexec,
+				Label:    fmt.Sprintf("rsred r%d s%d @%d", ri, s, dst),
+			})
+		}
+		reduceDone = newReduce
+	}
+	finalReduce := append([]int(nil), reduceDone...)
+
+	// All-gather: step s, position i sends segment (i+1-s) mod n.
+	for s := 0; s < n-1; s++ {
+		newRecv := make([]int, n)
+		for i := range newRecv {
+			newRecv[i] = -1
+		}
+		for pos := 0; pos < n; pos++ {
+			segIdx := ((pos+1-s)%n + n) % n
+			so, sn := seg(segIdx)
+			src := lr.verts[pos]
+			dstPos := (pos + 1) % n
+			dst := lr.verts[dstPos]
+			var deps []int
+			if s == 0 {
+				if reduceDone[pos] >= 0 {
+					deps = append(deps, reduceDone[pos])
+				}
+			} else if agRecv[pos] >= 0 {
+				deps = append(deps, agRecv[pos])
+			}
+			var exec func()
+			if b.opts.DataMode {
+				ff := f
+				exec = func() {
+					sb := ff.Buffer(src, core.BufAcc, bufLen)
+					db := ff.Buffer(dst, core.BufAcc, bufLen)
+					copy(db[so:so+sn], sb[so:so+sn])
+				}
+			}
+			newRecv[dstPos] = b.addHop(ri, pos, 3, lr.hops[pos], int64(sn)*4, deps, exec,
+				fmt.Sprintf("ag r%d s%d %d->%d", ri, s, src, dst))
+		}
+		agRecv = newRecv
+	}
+	return finalReduce, nil
+}

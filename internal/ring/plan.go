@@ -1,0 +1,264 @@
+package ring
+
+import (
+	"fmt"
+
+	"blink/internal/core"
+	"blink/internal/graph"
+	"blink/internal/simgpu"
+)
+
+// Options controls ring schedule generation.
+type Options struct {
+	// ChunkBytes is the pipelining granularity for broadcast chains
+	// (default 4 MiB).
+	ChunkBytes int64
+	// DataMode generates Exec closures moving real float32 data.
+	DataMode bool
+}
+
+func (o *Options) setDefaults() {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 4 << 20
+	}
+	if r := o.ChunkBytes % 4; r != 0 {
+		o.ChunkBytes += 4 - r
+	}
+}
+
+// logicalRing is a cyclic GPU order where each hop may traverse several
+// graph edges (one for NVLink, two for PCIe via the hub or a switch).
+type logicalRing struct {
+	verts []int
+	hops  [][]int // hops[i]: edge IDs from verts[i] to verts[i+1 mod n]
+}
+
+func fromRing(r Ring) logicalRing {
+	lr := logicalRing{verts: append([]int(nil), r.Verts...)}
+	for _, e := range r.Edges {
+		lr.hops = append(lr.hops, []int{e})
+	}
+	return lr
+}
+
+// rotate returns the ring re-anchored to start at vertex v.
+func (lr logicalRing) rotate(v int) (logicalRing, error) {
+	for i, u := range lr.verts {
+		if u == v {
+			out := logicalRing{}
+			n := len(lr.verts)
+			for j := 0; j < n; j++ {
+				out.verts = append(out.verts, lr.verts[(i+j)%n])
+				out.hops = append(out.hops, lr.hops[(i+j)%n])
+			}
+			return out, nil
+		}
+	}
+	return logicalRing{}, fmt.Errorf("ring: vertex %d not on ring", v)
+}
+
+// PCIeRing builds the fallback logical ring over a PCIe hub graph (GPU
+// vertices [0, nGPUs), hub at nGPUs). NCCL's PCIe rings move data with
+// direct peer-to-peer DMA through the PCIe switch hierarchy, so a hop
+// occupies only the sender's PCIe lane (one leg), unlike Blink's hub trees
+// which stage data at the root complex. This matches the paper's measured
+// fallback numbers (broadcast ~4.8 GB/s, Fig 2b).
+func PCIeRing(g *graph.Graph, nGPUs int) (logicalRing, error) {
+	hub := nGPUs
+	up := make([]int, nGPUs)
+	for i := range up {
+		up[i] = -1
+	}
+	for _, e := range g.Edges {
+		if e.To == hub && e.From < nGPUs {
+			up[e.From] = e.ID
+		}
+	}
+	lr := logicalRing{}
+	for i := 0; i < nGPUs; i++ {
+		if up[i] < 0 {
+			return lr, fmt.Errorf("ring: GPU %d lacks PCIe attach", i)
+		}
+		lr.verts = append(lr.verts, i)
+		lr.hops = append(lr.hops, []int{up[i]})
+	}
+	return lr, nil
+}
+
+// SwitchRing builds the natural ring 0 -> 1 -> ... -> n-1 -> 0 over a
+// logical all-to-all switch graph (NCCL's large-payload schedule on DGX-2).
+func SwitchRing(lg *graph.Graph) (logicalRing, error) {
+	edge := map[[2]int]int{}
+	for _, e := range lg.Edges {
+		edge[[2]int{e.From, e.To}] = e.ID
+	}
+	lr := logicalRing{}
+	n := lg.N
+	for i := 0; i < n; i++ {
+		id, ok := edge[[2]int{i, (i + 1) % n}]
+		if !ok {
+			return lr, fmt.Errorf("ring: logical edge %d->%d missing", i, (i+1)%n)
+		}
+		lr.verts = append(lr.verts, i)
+		lr.hops = append(lr.hops, []int{id})
+	}
+	return lr, nil
+}
+
+// builder mirrors core's plan builder for ring schedules.
+type builder struct {
+	f       *simgpu.Fabric
+	opts    Options
+	ops     []*simgpu.Op
+	streams map[[4]int]int
+}
+
+func newBuilder(f *simgpu.Fabric, opts Options) *builder {
+	return &builder{f: f, opts: opts, streams: map[[4]int]int{}}
+}
+
+func (b *builder) stream(ring, hop, leg, phase int) int {
+	key := [4]int{ring, hop, leg, phase}
+	id, ok := b.streams[key]
+	if !ok {
+		id = len(b.streams)
+		b.streams[key] = id
+	}
+	return id
+}
+
+func (b *builder) add(op *simgpu.Op) int {
+	b.ops = append(b.ops, op)
+	return len(b.ops) - 1
+}
+
+// addHop emits ops moving bytes across one logical hop (possibly several
+// edges, each possibly a two-leg switch transfer) and returns the delivery
+// op index. exec runs at delivery.
+func (b *builder) addHop(ring, hop, phase int, edges []int, bytes int64, deps []int, exec func(), label string) int {
+	last := -1
+	leg := 0
+	for ei, eid := range edges {
+		links := b.f.EdgeLinks(eid)
+		for li, link := range links {
+			d := deps
+			if last >= 0 {
+				d = []int{last}
+			}
+			op := &simgpu.Op{
+				Stream: b.stream(ring, hop, leg, phase),
+				Link:   link,
+				Bytes:  bytes,
+				Deps:   append([]int(nil), d...),
+				Label:  fmt.Sprintf("%s leg%d", label, leg),
+			}
+			if leg == 0 {
+				op.Overhead = b.f.Cfg.OpOverhead
+			}
+			if ei == len(edges)-1 && li == len(links)-1 {
+				op.Exec = exec
+			}
+			last = b.add(op)
+			leg++
+		}
+	}
+	return last
+}
+
+// BuildBroadcastPlan compiles an NCCL-style ring broadcast: the payload is
+// split across rings, and each ring pipelines chunks along the N-1 hop
+// chain from the root.
+func BuildBroadcastPlan(f *simgpu.Fabric, rings []Ring, root int, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("ring: no rings available")
+	}
+	var lrs []logicalRing
+	for _, r := range rings {
+		lr, err := fromRing(r).rotate(root)
+		if err != nil {
+			return nil, err
+		}
+		lrs = append(lrs, lr)
+	}
+	return buildChainBroadcast(f, lrs, bytes, opts)
+}
+
+// BuildPCIeBroadcastPlan is the PCIe fallback broadcast over the hub graph.
+func BuildPCIeBroadcastPlan(f *simgpu.Fabric, nGPUs, root int, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	lr, err := PCIeRing(f.Graph, nGPUs)
+	if err != nil {
+		return nil, err
+	}
+	lr, err = lr.rotate(root)
+	if err != nil {
+		return nil, err
+	}
+	return buildChainBroadcast(f, []logicalRing{lr}, bytes, opts)
+}
+
+// BuildSwitchBroadcastPlan is NCCL's ring broadcast over a switch fabric.
+func BuildSwitchBroadcastPlan(f *simgpu.Fabric, root int, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	lr, err := SwitchRing(f.Graph)
+	if err != nil {
+		return nil, err
+	}
+	lr, err = lr.rotate(root)
+	if err != nil {
+		return nil, err
+	}
+	return buildChainBroadcast(f, []logicalRing{lr}, bytes, opts)
+}
+
+func buildChainBroadcast(f *simgpu.Fabric, lrs []logicalRing, bytes int64, opts Options) (*core.Plan, error) {
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, fmt.Errorf("ring: payload too small")
+	}
+	b := newBuilder(f, opts)
+	chunkFloats := int(opts.ChunkBytes / 4)
+	share := totalFloats / len(lrs)
+	off := 0
+	for ri, lr := range lrs {
+		n := share
+		if ri == len(lrs)-1 {
+			n = totalFloats - off
+		}
+		chunks := (n + chunkFloats - 1) / chunkFloats
+		prevHop := make([]int, len(lr.verts)) // delivery op of current chunk at hop h
+		for k := 0; k < chunks; k++ {
+			coff := off + k*chunkFloats
+			cn := chunkFloats
+			if rem := off + n - coff; rem < cn {
+				cn = rem
+			}
+			for h := 0; h+1 < len(lr.verts); h++ {
+				var deps []int
+				if h > 0 {
+					deps = []int{prevHop[h-1]}
+				}
+				src, dst := lr.verts[h], lr.verts[h+1]
+				prevHop[h] = b.addHop(ri, h, 0, lr.hops[h], int64(cn)*4, deps,
+					copyExec(b, src, dst, core.BufData, core.BufData, coff, cn),
+					fmt.Sprintf("rbcast r%d c%d %d->%d", ri, k, src, dst))
+			}
+		}
+		off += n
+	}
+	return &core.Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+func copyExec(b *builder, src, dst, srcTag, dstTag, off, n int) func() {
+	if !b.opts.DataMode {
+		return nil
+	}
+	f := b.f
+	end := off + n
+	return func() {
+		sb := f.Buffer(src, srcTag, end)
+		db := f.Buffer(dst, dstTag, end)
+		copy(db[off:end], sb[off:end])
+	}
+}

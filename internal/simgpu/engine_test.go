@@ -1,0 +1,256 @@
+package simgpu
+
+import (
+	"math"
+	"testing"
+
+	"blink/internal/graph"
+	"blink/internal/topology"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(nil, nil)
+	if err != nil || res.Makespan != 0 {
+		t.Fatalf("empty run: %+v %v", res, err)
+	}
+}
+
+func TestRunSingleOp(t *testing.T) {
+	links := []Link{{BW: 10, Label: "l"}}
+	op := &Op{Stream: 0, Link: 0, Bytes: 100e6, Overhead: 1e-3}
+	res, err := Run(links, []*Op{op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 100e6/(10*1e9)
+	if !almost(res.Makespan, want, 1e-12) {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	if op.Start() != 0 || !almost(op.Finish(), want, 1e-12) {
+		t.Fatalf("op window [%v,%v]", op.Start(), op.Finish())
+	}
+}
+
+func TestRunStreamSerialization(t *testing.T) {
+	links := []Link{{BW: 1}, {BW: 1}}
+	// Same stream, different links: must still serialize.
+	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
+	b := &Op{Stream: 0, Link: 1, Bytes: 1e9}
+	res, err := Run(links, []*Op{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 2, 1e-9) {
+		t.Fatalf("stream-serialized makespan = %v, want 2", res.Makespan)
+	}
+	if b.Start() < a.Finish() {
+		t.Fatalf("stream order violated: b starts %v before a finishes %v", b.Start(), a.Finish())
+	}
+}
+
+func TestRunLinkContention(t *testing.T) {
+	links := []Link{{BW: 1}}
+	// Two streams sharing one link serialize; two separate links would not.
+	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
+	b := &Op{Stream: 1, Link: 0, Bytes: 1e9}
+	res, err := Run(links, []*Op{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 2, 1e-9) {
+		t.Fatalf("contended makespan = %v, want 2", res.Makespan)
+	}
+
+	links2 := []Link{{BW: 1}, {BW: 1}}
+	a2 := &Op{Stream: 0, Link: 0, Bytes: 1e9}
+	b2 := &Op{Stream: 1, Link: 1, Bytes: 1e9}
+	res2, err := Run(links2, []*Op{a2, b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res2.Makespan, 1, 1e-9) {
+		t.Fatalf("parallel makespan = %v, want 1", res2.Makespan)
+	}
+}
+
+func TestRunDependencies(t *testing.T) {
+	links := []Link{{BW: 1}, {BW: 1}}
+	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
+	b := &Op{Stream: 1, Link: 1, Bytes: 1e9, Deps: []int{0}}
+	res, err := Run(links, []*Op{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 2, 1e-9) {
+		t.Fatalf("dependent makespan = %v, want 2", res.Makespan)
+	}
+}
+
+func TestRunPipelining(t *testing.T) {
+	// Two-hop chain with 4 chunks: pipelined makespan is (nChunks+1)*c not
+	// 2*nChunks*c.
+	links := []Link{{BW: 1}, {BW: 1}}
+	var ops []*Op
+	const chunks = 4
+	for c := 0; c < chunks; c++ {
+		ops = append(ops, &Op{Stream: 0, Link: 0, Bytes: 1e9})
+	}
+	for c := 0; c < chunks; c++ {
+		ops = append(ops, &Op{Stream: 1, Link: 1, Bytes: 1e9, Deps: []int{c}})
+	}
+	res, err := Run(links, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, chunks+1, 1e-9) {
+		t.Fatalf("pipelined makespan = %v, want %d", res.Makespan, chunks+1)
+	}
+}
+
+func TestRunDeadlockDetection(t *testing.T) {
+	links := []Link{{BW: 1}}
+	a := &Op{Stream: 0, Link: 0, Bytes: 1, Deps: []int{1}}
+	b := &Op{Stream: 1, Link: 0, Bytes: 1, Deps: []int{0}}
+	if _, err := Run(links, []*Op{a, b}); err == nil {
+		t.Fatal("cyclic deps not detected")
+	}
+	// Stream-order vs dep-order conflict: op later in stream blocks an
+	// earlier one through a dependency.
+	c := &Op{Stream: 0, Link: 0, Bytes: 1, Deps: []int{1}}
+	d := &Op{Stream: 0, Link: 0, Bytes: 1}
+	if _, err := Run(links, []*Op{c, d}); err == nil {
+		t.Fatal("stream/dep conflict not detected")
+	}
+}
+
+func TestRunInvalidInputs(t *testing.T) {
+	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 5}}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := Run([]Link{{BW: 0}}, []*Op{{Stream: 0, Link: 0}}); err == nil {
+		t.Fatal("zero-bandwidth link accepted")
+	}
+	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 0, Deps: []int{7}}}); err == nil {
+		t.Fatal("invalid dep accepted")
+	}
+}
+
+func TestRunExecOrderAndData(t *testing.T) {
+	links := []Link{{BW: 1}}
+	var order []string
+	a := &Op{Stream: 0, Link: 0, Bytes: 1, Exec: func() { order = append(order, "a") }}
+	b := &Op{Stream: 1, Link: 0, Bytes: 1, Deps: []int{0}, Exec: func() { order = append(order, "b") }}
+	if _, err := Run(links, []*Op{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("exec order %v", order)
+	}
+}
+
+func TestRunBusiestLink(t *testing.T) {
+	links := []Link{{BW: 1}, {BW: 1}}
+	ops := []*Op{
+		{Stream: 0, Link: 0, Bytes: 3e9},
+		{Stream: 1, Link: 1, Bytes: 1e9},
+	}
+	res, err := Run(links, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BusiestLink != 0 || !almost(res.BusiestLinkTime, 3, 1e-9) {
+		t.Fatalf("busiest = %d (%v)", res.BusiestLink, res.BusiestLinkTime)
+	}
+}
+
+func TestRunZeroResourceOp(t *testing.T) {
+	a := &Op{Stream: 0, Link: -1, Overhead: 5e-6}
+	res, err := Run(nil, []*Op{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 5e-6, 1e-12) {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	d := DefaultConfig()
+	if c.OpOverhead != d.OpOverhead || c.ReduceBW != d.ReduceBW || c.CopyEff != d.CopyEff {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{OpOverhead: 1e-6}
+	c2.setDefaults()
+	if c2.OpOverhead != 1e-6 {
+		t.Fatal("explicit overhead overwritten")
+	}
+}
+
+func TestNewFabricLinks(t *testing.T) {
+	topo := topology.DGX1V()
+	f := NewFabric(topo, topo.GPUGraph(), Config{})
+	gg := topo.GPUGraph()
+	if len(f.Links) != len(gg.Edges)+gg.N {
+		t.Fatalf("links = %d, want %d edges + %d reduce engines", len(f.Links), len(gg.Edges), gg.N)
+	}
+	// A doubled NVLink edge gets twice the bandwidth.
+	var single, double float64
+	for i, e := range gg.Edges {
+		if e.Cap == 1 {
+			single = f.Links[i].BW
+		}
+		if e.Cap == 2 {
+			double = f.Links[i].BW
+		}
+	}
+	if single <= 0 || double <= 0 || !almost(double, 2*single, 1e-9) {
+		t.Fatalf("single=%v double=%v", single, double)
+	}
+	if !almost(single, 24*0.95, 1e-9) {
+		t.Fatalf("unit NVLink bw = %v, want 22.8", single)
+	}
+	if rl := f.ReduceLink(3); f.Links[rl].BW != DefaultConfig().ReduceBW {
+		t.Fatalf("reduce link bw wrong")
+	}
+}
+
+func TestFabricBuffers(t *testing.T) {
+	topo := topology.DGX1V()
+	f := NewFabric(topo, topo.GPUGraph(), Config{DataMode: true})
+	b := f.Buffer(0, 1, 4)
+	if len(b) != 4 {
+		t.Fatalf("buffer len %d", len(b))
+	}
+	b[2] = 7
+	if f.Buffer(0, 1, 4)[2] != 7 {
+		t.Fatal("buffer not persistent")
+	}
+	big := f.Buffer(0, 1, 8)
+	if big[2] != 7 {
+		t.Fatal("grow lost data")
+	}
+	f.SetBuffer(1, 0, []float32{1, 2, 3})
+	if got := f.Buffer(1, 0, 3); got[1] != 2 {
+		t.Fatal("SetBuffer not visible")
+	}
+}
+
+func TestFabricPCIePlane(t *testing.T) {
+	topo := topology.DGX1V()
+	f := NewFabric(topo, topo.PCIeGraph(), Config{})
+	// PCIe links should land near 5.5 GB/s per DESIGN.md.
+	for i, e := range topo.PCIeGraph().Edges {
+		if e.Type != graph.PCIe {
+			continue
+		}
+		bw := f.Links[i].BW
+		if bw < 4.5 || bw > 6.5 {
+			t.Fatalf("PCIe link bw = %v, want ~5.2-5.5", bw)
+		}
+	}
+}

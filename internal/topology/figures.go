@@ -1,0 +1,55 @@
+package topology
+
+// The allocation lists below are transcribed from the paper's x-axes so the
+// benchmark harness reports the same rows in the same order.
+
+// Fig15AllocationsDGX1V lists the 46 unique DGX-1V allocations of Figures 15
+// and 17 (Broadcast / AllReduce across all unique topologies on DGX-1V).
+var Fig15AllocationsDGX1V = [][]int{
+	{5, 6, 7}, {4, 5, 7}, {3, 6, 7}, {3, 5, 7}, {1, 5, 6},
+	{4, 5, 6, 7}, {3, 5, 6, 7}, {3, 4, 6, 7}, {3, 4, 5, 7}, {2, 3, 6, 7},
+	{2, 3, 5, 7}, {2, 3, 5, 6}, {1, 5, 6, 7}, {1, 4, 5, 7}, {1, 4, 5, 6},
+	{1, 3, 5, 7}, {1, 3, 5, 6}, {1, 3, 4, 5}, {1, 2, 5, 6},
+	{3, 4, 5, 6, 7}, {2, 3, 5, 6, 7}, {2, 3, 4, 5, 7}, {1, 4, 5, 6, 7},
+	{1, 3, 5, 6, 7}, {1, 3, 4, 6, 7}, {1, 3, 4, 5, 7}, {1, 3, 4, 5, 6},
+	{1, 2, 5, 6, 7}, {1, 2, 4, 6, 7}, {1, 2, 4, 5, 7}, {1, 2, 4, 5, 6},
+	{1, 2, 3, 4, 5}, {0, 1, 4, 5, 7},
+	{2, 3, 4, 5, 6, 7}, {1, 3, 4, 5, 6, 7}, {1, 2, 4, 5, 6, 7},
+	{1, 2, 3, 5, 6, 7}, {1, 2, 3, 4, 6, 7}, {1, 2, 3, 4, 5, 7},
+	{1, 2, 3, 4, 5, 6}, {0, 1, 4, 5, 6, 7}, {0, 1, 3, 4, 5, 7},
+	{0, 1, 3, 4, 5, 6},
+	{1, 2, 3, 4, 5, 6, 7}, {0, 1, 3, 4, 5, 6, 7},
+	{0, 1, 2, 3, 4, 5, 6, 7},
+}
+
+// Fig16AllocationsDGX1P lists the 14 unique DGX-1P allocations of Figure 16.
+var Fig16AllocationsDGX1P = [][]int{
+	{5, 6, 7}, {3, 6, 7},
+	{4, 5, 6, 7}, {3, 5, 6, 7}, {2, 3, 6, 7}, {2, 3, 5, 7},
+	{3, 4, 5, 6, 7}, {2, 3, 5, 6, 7}, {2, 3, 4, 5, 7},
+	{2, 3, 4, 5, 6, 7}, {1, 2, 3, 5, 6, 7}, {1, 2, 3, 4, 6, 7},
+	{0, 1, 2, 3, 4, 5, 6},    // "7GPU"
+	{0, 1, 2, 3, 4, 5, 6, 7}, // "8GPU"
+}
+
+// Fig18Allocations lists the single-server training configurations of
+// Figure 18 (end-to-end DNN training on a DGX-1V).
+var Fig18Allocations = [][]int{
+	{0, 1, 2}, {3, 6, 7},
+	{0, 1, 2, 3}, {1, 4, 5, 7},
+	{1, 4, 5, 6, 7}, {2, 3, 5, 6, 7},
+	{1, 2, 4, 5, 6, 7}, {2, 3, 4, 5, 6, 7},
+	{0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4, 5, 6, 7},
+}
+
+// AllocLabel renders an allocation the way the paper prints it: "1,4,5,7".
+func AllocLabel(devs []int) string {
+	s := ""
+	for i, d := range devs {
+		if i > 0 {
+			s += ","
+		}
+		s += string(rune('0' + d))
+	}
+	return s
+}

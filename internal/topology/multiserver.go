@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"fmt"
+
+	"blink/internal/graph"
+)
+
+// Server describes one machine in a multi-server job: its base topology and
+// the GPUs allocated on it.
+type Server struct {
+	Machine *Topology // e.g. DGX1V()
+	Devs    []int     // allocated GPU IDs on this machine
+}
+
+// Cluster is a multi-server allocation connected by NICs through a
+// non-blocking datacenter switch. Blink's three-phase AllReduce (Figure 10)
+// runs on this structure: per-server spanning trees for phases 1 and 3, and
+// one-hop cross-server trees over the NIC fabric for phase 2.
+type Cluster struct {
+	Servers []*Topology // induced per-server topologies
+	// NICGBs is the per-server NIC bandwidth in GB/s per direction.
+	NICGBs float64
+	// Net is the cross-server fabric: one vertex per server plus a switch
+	// relay. Edge capacities are in NVLink units of the first server's
+	// generation so rates compose with intra-server plans.
+	Net *graph.Graph
+}
+
+// NewCluster induces each server's sub-topology and assembles the NIC
+// fabric. nicGbps is the NIC speed in Gbit/s (e.g. 40, 100, 400).
+func NewCluster(servers []Server, nicGbps float64) (*Cluster, error) {
+	if len(servers) < 2 {
+		return nil, fmt.Errorf("topology: cluster needs >= 2 servers")
+	}
+	c := &Cluster{NICGBs: nicGbps / 8.0}
+	for i, s := range servers {
+		ind, err := s.Machine.Induce(s.Devs)
+		if err != nil {
+			return nil, fmt.Errorf("topology: server %d: %w", i, err)
+		}
+		c.Servers = append(c.Servers, ind)
+	}
+	unit := c.Servers[0].LinkBandwidthGBs(graph.NVLink)
+	n := len(servers)
+	net := graph.New(n + 1)
+	sw := n
+	net.Labels[sw] = -1
+	for i := 0; i < n; i++ {
+		net.AddBiEdge(i, sw, c.NICGBs/unit, graph.Net)
+	}
+	c.Net = net
+	return c, nil
+}
+
+// TotalGPUs returns the number of GPUs allocated across all servers.
+func (c *Cluster) TotalGPUs() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += s.NumGPUs
+	}
+	return n
+}

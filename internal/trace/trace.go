@@ -1,0 +1,156 @@
+// Package trace exports executed schedules as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) so a plan's pipelining, link occupancy and
+// stream interleaving can be inspected visually — the debugging loop the
+// paper's authors describe for CodeGen output.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+)
+
+// Event is one Chrome trace event (phase "X": complete event).
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// File is the trace-event file wrapper.
+type File struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"otherData,omitempty"`
+}
+
+// FromPlan executes the plan (if not yet executed) and converts every op
+// into a complete event: one "process" per link (so each link renders as a
+// swimlane) with the op's stream as the thread ID.
+func FromPlan(plan *core.Plan) (*File, error) {
+	if _, err := plan.Execute(); err != nil {
+		return nil, err
+	}
+	return FromOps(plan.Fabric, plan.Ops), nil
+}
+
+// FromOps converts already-executed ops into a trace file.
+func FromOps(f *simgpu.Fabric, ops []*simgpu.Op) *File {
+	out := &File{DisplayTimeUnit: "ns", Metadata: map[string]string{
+		"generator": "blink/internal/trace",
+	}}
+	for _, op := range ops {
+		if op.Finish() <= op.Start() {
+			continue // zero-duration sync op
+		}
+		lane := -1
+		if op.Link >= 0 {
+			lane = op.Link
+		} else if len(op.Links) > 0 {
+			lane = op.Links[0]
+		}
+		name := op.Label
+		if name == "" {
+			name = "op"
+		}
+		cat := "copy"
+		if lane >= 0 && f != nil && f.Links[lane].Label != "" && len(f.Links[lane].Label) >= 6 && f.Links[lane].Label[:6] == "reduce" {
+			cat = "reduce"
+		}
+		out.TraceEvents = append(out.TraceEvents, Event{
+			Name: name,
+			Cat:  cat,
+			Ph:   "X",
+			TS:   op.Start() * 1e6,
+			Dur:  (op.Finish() - op.Start()) * 1e6,
+			PID:  lane + 1, // pid 0 is reserved for sync ops
+			TID:  op.Stream,
+		})
+	}
+	sort.Slice(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].TS != out.TraceEvents[j].TS {
+			return out.TraceEvents[i].TS < out.TraceEvents[j].TS
+		}
+		return out.TraceEvents[i].PID < out.TraceEvents[j].PID
+	})
+	return out
+}
+
+// Write serializes the trace as JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Summary aggregates per-link busy time from executed ops — a quick text
+// alternative to the visual trace.
+type Summary struct {
+	Makespan float64
+	Links    []LinkUsage
+}
+
+// LinkUsage is one link's aggregate occupancy.
+type LinkUsage struct {
+	Link     int
+	Label    string
+	BusySecs float64
+	Ops      int
+	// Utilization is BusySecs / Makespan.
+	Utilization float64
+}
+
+// Summarize computes link utilization for executed ops.
+func Summarize(f *simgpu.Fabric, ops []*simgpu.Op) *Summary {
+	s := &Summary{}
+	busy := map[int]*LinkUsage{}
+	for _, op := range ops {
+		if op.Finish() > s.Makespan {
+			s.Makespan = op.Finish()
+		}
+		lanes := op.Links
+		if len(lanes) == 0 && op.Link >= 0 {
+			lanes = []int{op.Link}
+		}
+		for _, l := range lanes {
+			u := busy[l]
+			if u == nil {
+				u = &LinkUsage{Link: l}
+				if f != nil && l < len(f.Links) {
+					u.Label = f.Links[l].Label
+				}
+				busy[l] = u
+			}
+			u.BusySecs += op.Finish() - op.Start()
+			u.Ops++
+		}
+	}
+	for _, u := range busy {
+		if s.Makespan > 0 {
+			u.Utilization = u.BusySecs / s.Makespan
+		}
+		s.Links = append(s.Links, *u)
+	}
+	sort.Slice(s.Links, func(i, j int) bool { return s.Links[i].BusySecs > s.Links[j].BusySecs })
+	return s
+}
+
+// Fprint renders the summary.
+func (s *Summary) Fprint(w io.Writer, top int) {
+	fmt.Fprintf(w, "makespan %.3f ms\n", s.Makespan*1e3)
+	for i, u := range s.Links {
+		if top > 0 && i >= top {
+			break
+		}
+		fmt.Fprintf(w, "  %-20s busy %7.3f ms (%5.1f%%) over %d ops\n",
+			u.Label, u.BusySecs*1e3, 100*u.Utilization, u.Ops)
+	}
+}

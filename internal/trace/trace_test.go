@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func samplePlan(t *testing.T) *core.Plan {
+	t.Helper()
+	ind, err := topology.DGX1V().Induce([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ind.GPUGraph()
+	p, err := core.GenerateTrees(g, 0, core.PackOptions{}, core.MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := simgpu.NewFabric(ind, g, simgpu.Config{})
+	plan, err := core.BuildAllReducePlan(f, p, 32<<20, core.PlanOptions{ChunkBytes: 4 << 20, NoStreamReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestFromPlanProducesEvents(t *testing.T) {
+	plan := samplePlan(t)
+	tf, err := FromPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	// Events are time-sorted, non-negative, with positive durations.
+	prev := -1.0
+	for _, e := range tf.TraceEvents {
+		if e.TS < prev {
+			t.Fatal("events not sorted by timestamp")
+		}
+		prev = e.TS
+		if e.Dur <= 0 || e.TS < 0 {
+			t.Fatalf("bad event window: %+v", e)
+		}
+		if e.Ph != "X" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// Reduce ops must be categorized.
+	sawReduce := false
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "reduce" {
+			sawReduce = true
+		}
+	}
+	if !sawReduce {
+		t.Fatal("no reduce events in an AllReduce trace")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	plan := samplePlan(t)
+	tf, err := FromPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if _, ok := parsed["traceEvents"]; !ok {
+		t.Fatal("traceEvents key missing")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	plan := samplePlan(t)
+	if _, err := plan.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(plan.Fabric, plan.Ops)
+	if s.Makespan <= 0 || len(s.Links) == 0 {
+		t.Fatalf("summary empty: %+v", s)
+	}
+	// Sorted by busy time.
+	for i := 1; i < len(s.Links); i++ {
+		if s.Links[i].BusySecs > s.Links[i-1].BusySecs {
+			t.Fatal("links not sorted by busy time")
+		}
+	}
+	// No link can be busier than the makespan (occupancy is exclusive).
+	for _, u := range s.Links {
+		if u.Utilization > 1.0+1e-9 {
+			t.Fatalf("link %s utilization %.3f > 1", u.Label, u.Utilization)
+		}
+	}
+	var buf bytes.Buffer
+	s.Fprint(&buf, 3)
+	out := buf.String()
+	if !strings.Contains(out, "makespan") || strings.Count(out, "busy") != 3 {
+		t.Fatalf("summary rendering wrong:\n%s", out)
+	}
+}

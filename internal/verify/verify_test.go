@@ -1,0 +1,40 @@
+package verify
+
+import "testing"
+
+func TestRunAllCasesPass(t *testing.T) {
+	rs, err := Run(Options{Cases: 60, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, fail := Summary(rs)
+	if fail != 0 || pass != 60 {
+		t.Fatalf("pass=%d fail=%d", pass, fail)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Options{Cases: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Cases: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Floats != b[i].Floats || a[i].Op != b[i].Op || a[i].OK != b[i].OK {
+			t.Fatalf("case %d differs across runs", i)
+		}
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	rs, err := Run(Options{Cases: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("cases = %d", len(rs))
+	}
+}
