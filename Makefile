@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench plancache ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency suite under the race detector. The full experiment suite is
+# slow under -race, so target the packages with concurrent paths plus the
+# public API.
+race:
+	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+plancache:
+	$(GO) run ./cmd/blinkbench -plancache -o BENCH_planCache.json
+
+ci: fmt-check vet build test race

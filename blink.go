@@ -21,6 +21,7 @@ package blink
 
 import (
 	"fmt"
+	"sync"
 
 	"blink/internal/collective"
 	"blink/internal/core"
@@ -55,12 +56,20 @@ const (
 // Result reports one collective execution.
 type Result = collective.Result
 
+// GroupResult reports one grouped collective dispatch (AllReduceMany).
+type GroupResult = collective.GroupResult
+
+// CacheStats snapshots a communicator's plan-cache counters.
+type CacheStats = collective.CacheStats
+
 // Option customizes a Comm.
 type Option func(*commConfig)
 
 type commConfig struct {
-	sim     simgpu.Config
-	backend Backend
+	sim      simgpu.Config
+	backend  Backend
+	cacheCap *int
+	cache    *PlanCache
 }
 
 // WithBackend selects the default backend (BackendBlink if unset).
@@ -73,14 +82,49 @@ func WithSimConfig(cfg simgpu.Config) Option { return func(c *commConfig) { c.si
 // methods), enabling functional verification at some simulation cost.
 func WithDataMode() Option { return func(c *commConfig) { c.sim.DataMode = true } }
 
+// WithPlanCacheCapacity bounds the number of compiled schedules the
+// communicator keeps resident (default collective.DefaultPlanCacheCapacity).
+// Zero or negative disables caching: every collective recompiles.
+func WithPlanCacheCapacity(n int) Option {
+	return func(c *commConfig) { c.cacheCap = &n }
+}
+
+// WithPlanCache shares an existing plan cache with this communicator.
+// Cache keys carry the topology fingerprint, device set and timing model,
+// so several communicators — even over different allocations — can pool
+// one cache without ever satisfying each other incorrectly. Data-mode
+// plans stay private to the communicator that compiled them (their
+// schedules are bound to its device buffers); only timing plans are
+// shared.
+func WithPlanCache(pc *PlanCache) Option {
+	return func(c *commConfig) { c.cache = pc }
+}
+
+// PlanCache is a concurrency-safe LRU of compiled schedules, shareable
+// across communicators.
+type PlanCache = collective.PlanCache
+
+// NewPlanCache returns a plan cache holding at most capacity schedules.
+func NewPlanCache(capacity int) *PlanCache { return collective.NewPlanCache(capacity) }
+
 // Comm is a communicator over an allocated set of GPUs, analogous to an
 // NCCL communicator. It probes the machine's interconnect restricted to the
-// allocation and generates schedules on demand (TreeGen + CodeGen).
+// allocation and generates schedules on demand (TreeGen + CodeGen); each
+// compiled schedule is frozen into an LRU plan cache, so the first
+// collective of a given shape pays for tree packing, minimization and
+// code generation once and every later iteration replays the plan.
+//
+// A Comm is safe for concurrent use by multiple goroutines. Timing-mode
+// collectives run fully in parallel; data-mode collectives (the *Data
+// methods) are serialized internally because they share device buffers.
 type Comm struct {
 	eng     *collective.Engine
 	backend Backend
 	devs    []int
 	machine *Machine
+	// dataMu makes each *Data call's install-run-read sequence atomic with
+	// respect to other *Data calls on this communicator.
+	dataMu sync.Mutex
 }
 
 // NewComm probes the machine for the allocated device IDs and returns a
@@ -93,6 +137,11 @@ func NewComm(machine *Machine, devs []int, opts ...Option) (*Comm, error) {
 	eng, err := collective.NewEngine(machine, devs, cfg.sim)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.cache != nil {
+		eng.SetPlanCache(cfg.cache)
+	} else if cfg.cacheCap != nil {
+		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
 	}
 	return &Comm{eng: eng, backend: cfg.backend, devs: append([]int(nil), devs...), machine: machine}, nil
 }
@@ -125,6 +174,19 @@ func (c *Comm) Gather(root int, bytes int64) (Result, error) {
 func (c *Comm) AllReduce(bytes int64) (Result, error) {
 	return c.run(collective.AllReduce, 0, bytes, collective.Options{})
 }
+
+// AllReduceMany issues one AllReduce per tensor size as a single grouped
+// dispatch — the multi-tensor gradient buckets of one training step. Every
+// distinct size compiles once; a steady-state training loop replays frozen
+// plans for the whole group (see GroupResult.CacheHits).
+func (c *Comm) AllReduceMany(sizes []int64) (GroupResult, error) {
+	return c.eng.RunMany(c.backend, collective.AllReduce, 0, sizes, collective.Options{})
+}
+
+// CacheStats snapshots the communicator's plan-cache counters: hits are
+// collectives that skipped TreeGen/minimize/CodeGen and replayed a frozen
+// schedule.
+func (c *Comm) CacheStats() CacheStats { return c.eng.CacheStats() }
 
 // AllGather concatenates every rank's share on all ranks.
 func (c *Comm) AllGather(bytes int64) (Result, error) {
@@ -164,7 +226,10 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("blink: empty buffer")
 	}
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
 	f := c.fabric()
+	f.ResetBuffers()
 	f.SetBuffer(root, core.BufData, append([]float32(nil), data...))
 	if _, err := c.run(collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true}); err != nil {
 		return nil, err
@@ -192,7 +257,10 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 			return nil, fmt.Errorf("blink: rank %d buffer length %d != %d", i, len(in), n)
 		}
 	}
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
 	f := c.fabric()
+	f.ResetBuffers()
 	for v, in := range inputs {
 		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}

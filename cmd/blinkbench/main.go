@@ -1,10 +1,12 @@
-// Command blinkbench regenerates the paper's tables and figures.
+// Command blinkbench regenerates the paper's tables and figures, and
+// benchmarks the schedule plan cache.
 //
 // Usage:
 //
-//	blinkbench -exp all          # every experiment, paper order
-//	blinkbench -exp fig15        # one experiment
-//	blinkbench -list             # available experiment IDs
+//	blinkbench -exp all                        # every experiment, paper order
+//	blinkbench -exp fig15                      # one experiment
+//	blinkbench -list                           # available experiment IDs
+//	blinkbench -plancache -o BENCH_planCache.json  # cold vs warm plan latency
 package main
 
 import (
@@ -18,7 +20,14 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	plancache := flag.Bool("plancache", false, "benchmark cold vs warm plan dispatch and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache ('-' = stdout)")
 	flag.Parse()
+
+	if *plancache {
+		planCacheMain(*out)
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"blink/internal/collective"
+	"blink/internal/dnn"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// planCacheCase is one (backend, payload) measurement of cold (compile +
+// execute) vs. warm (frozen-plan replay) dispatch latency.
+type planCacheCase struct {
+	Backend       string  `json:"backend"`
+	Op            string  `json:"op"`
+	Bytes         int64   `json:"bytes"`
+	ColdMillis    float64 `json:"coldMillis"`
+	WarmMillis    float64 `json:"warmMillis"`
+	Speedup       float64 `json:"speedup"`
+	SimSeconds    float64 `json:"simSeconds"`
+	Strategy      string  `json:"strategy"`
+	WarmIsFaster  bool    `json:"warmIsFaster"`
+	CacheHits     uint64  `json:"cacheHits"`
+	CacheMisses   uint64  `json:"cacheMisses"`
+	WarmIterCount int     `json:"warmIterCount"`
+}
+
+// planCacheTrainCase is a grouped-dispatch (training step) measurement.
+type planCacheTrainCase struct {
+	Model           string  `json:"model"`
+	Backend         string  `json:"backend"`
+	Buckets         int     `json:"buckets"`
+	Iterations      int     `json:"iterations"`
+	ColdStepMillis  float64 `json:"coldStepMillis"`
+	WarmStepMillis  float64 `json:"warmStepMillis"`
+	Speedup         float64 `json:"speedup"`
+	SimStepSeconds  float64 `json:"simStepSeconds"`
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+	BucketBytesFuse int64   `json:"bucketBytes"`
+}
+
+// planCacheReport is the schema of BENCH_planCache.json.
+type planCacheReport struct {
+	Methodology string               `json:"methodology"`
+	Machine     string               `json:"machine"`
+	Devices     []int                `json:"devices"`
+	GoVersion   string               `json:"goVersion"`
+	GOOS        string               `json:"goos"`
+	GOARCH      string               `json:"goarch"`
+	WarmIters   int                  `json:"warmIters"`
+	Cases       []planCacheCase      `json:"cases"`
+	Training    []planCacheTrainCase `json:"training"`
+}
+
+const planCacheMethodology = "Each case creates a fresh engine on a full " +
+	"8-GPU DGX-1V, measures wall-clock dispatch latency of the first " +
+	"collective of a shape (cold: TreeGen + ILP minimize + CodeGen + " +
+	"simulate), then the mean over warmIters repeats of the same shape " +
+	"(warm: frozen-plan replay, simulate only). simSeconds is the " +
+	"simulated collective time, identical cold and warm because replay " +
+	"is deterministic. Training cases drive dnn.TrainStep (grouped " +
+	"AllReduce over DDP-style 25 MB gradient buckets) for `iterations` " +
+	"steps and compare the first step against the mean of the rest."
+
+// runPlanCacheBench measures cold vs. warm plan dispatch and writes the
+// JSON report to out.
+func runPlanCacheBench(out io.Writer) error {
+	const warmIters = 20
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rep := planCacheReport{
+		Methodology: planCacheMethodology,
+		Machine:     machine.Name,
+		Devices:     devs,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		WarmIters:   warmIters,
+	}
+	backends := []collective.Backend{collective.Blink, collective.NCCL}
+	for _, b := range backends {
+		for _, bytes := range []int64{1 << 20, 100 << 20} {
+			eng, err := collective.NewEngine(machine, devs, simgpu.Config{})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			first, err := eng.Run(b, collective.AllReduce, 0, bytes, collective.Options{})
+			if err != nil {
+				return err
+			}
+			cold := time.Since(start)
+			start = time.Now()
+			for i := 0; i < warmIters; i++ {
+				if _, err := eng.Run(b, collective.AllReduce, 0, bytes, collective.Options{}); err != nil {
+					return err
+				}
+			}
+			warm := time.Since(start) / warmIters
+			st := eng.CacheStats()
+			c := planCacheCase{
+				Backend:       b.String(),
+				Op:            "AllReduce",
+				Bytes:         bytes,
+				ColdMillis:    float64(cold) / 1e6,
+				WarmMillis:    float64(warm) / 1e6,
+				SimSeconds:    first.Seconds,
+				Strategy:      first.Strategy,
+				WarmIsFaster:  warm < cold,
+				CacheHits:     st.Hits,
+				CacheMisses:   st.Misses,
+				WarmIterCount: warmIters,
+			}
+			if warm > 0 {
+				c.Speedup = float64(cold) / float64(warm)
+			}
+			rep.Cases = append(rep.Cases, c)
+		}
+	}
+	const bucketBytes = 25 << 20
+	const iters = 10
+	wallClock := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	for _, b := range backends {
+		for _, m := range []*dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
+			eng, err := collective.NewEngine(machine, devs, simgpu.Config{})
+			if err != nil {
+				return err
+			}
+			tr, err := dnn.SimulateTrainingRun(eng, b, m, bucketBytes, iters, wallClock)
+			if err != nil {
+				return err
+			}
+			tc := planCacheTrainCase{
+				Model:           tr.Model,
+				Backend:         b.String(),
+				Buckets:         tr.Buckets,
+				Iterations:      tr.Iterations,
+				ColdStepMillis:  tr.ColdWallSeconds * 1e3,
+				WarmStepMillis:  tr.WarmWallSeconds * 1e3,
+				SimStepSeconds:  tr.StepSeconds,
+				CacheHits:       tr.CacheHits,
+				CacheMisses:     tr.CacheMisses,
+				BucketBytesFuse: bucketBytes,
+			}
+			if tr.WarmWallSeconds > 0 {
+				tc.Speedup = tr.ColdWallSeconds / tr.WarmWallSeconds
+			}
+			rep.Training = append(rep.Training, tc)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// planCacheMain handles the -plancache flag: write the report to path (or
+// stdout when path is "-").
+func planCacheMain(path string) {
+	w := io.Writer(os.Stdout)
+	var f *os.File
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
+			os.Exit(1)
+		}
+		w = f
+	}
+	if err := runPlanCacheBench(w); err != nil {
+		fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
+		os.Exit(1)
+	}
+	if f != nil {
+		// A deferred-write failure (full disk, NFS) surfaces at Close; a
+		// truncated report must not exit 0.
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module blink
+
+go 1.21

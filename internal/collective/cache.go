@@ -1,0 +1,154 @@
+package collective
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+)
+
+// PlanKey identifies one compiled schedule. Two Run calls with equal keys
+// replay the same FrozenPlan, so the key must cover everything that changes
+// generated code: the topology fingerprint (which folds in the fabric
+// structure and the allocated device set), the normalized hardware timing
+// model (which is baked into every op's overheads and link bandwidths),
+// the backend, the collective op, the root, the payload size, the resolved
+// chunk size, and whether the plan carries data-movement closures.
+type PlanKey struct {
+	// Fingerprint is topology.Topology.Fingerprint() of the induced
+	// allocation; it makes the key valid across engines, so one PlanCache
+	// may be shared by many communicators.
+	Fingerprint string
+	// Config is the engine's simgpu.Config.Normalized(): plans compiled
+	// under different timing models must never satisfy each other.
+	Config  simgpu.Config
+	Backend Backend
+	Op      Op
+	Root    int
+	Bytes   int64
+	// ChunkBytes is the resolved pipelining granularity (after the chunk
+	// heuristic), not the raw override.
+	ChunkBytes int64
+	DataMode   bool
+	Hybrid     bool
+	// EngineID pins data-mode plans to the engine that compiled them.
+	// Their Exec closures capture the compiling engine's fabric buffers,
+	// so replaying them from another engine would read and write the
+	// wrong fabric; timing-only plans (EngineID 0) are freely shareable.
+	EngineID uint64
+}
+
+// CachedPlan is a cache value: the frozen schedule plus the strategy label
+// the engine reported when it compiled it.
+type CachedPlan struct {
+	Plan     *core.FrozenPlan
+	Strategy string
+}
+
+// CacheStats is a point-in-time snapshot of cache activity.
+type CacheStats struct {
+	// Hits counts Run dispatches that replayed a cached plan, skipping
+	// TreeGen, minimization and CodeGen entirely.
+	Hits uint64
+	// Misses counts dispatches that had to compile.
+	Misses uint64
+	// Entries is the number of plans currently resident.
+	Entries int
+	// Evictions counts plans dropped by the LRU policy.
+	Evictions uint64
+}
+
+// DefaultPlanCacheCapacity bounds a communicator's resident compiled plans.
+// A training job touches a handful of bucket sizes per model, so a small
+// cache captures the entire steady state; the LRU bound exists to keep
+// long-lived processes that sweep many payload sizes (benchmarks) from
+// growing without limit.
+const DefaultPlanCacheCapacity = 128
+
+// PlanCache is a concurrency-safe LRU of frozen schedules. It may be shared
+// across engines/communicators (keys carry the topology fingerprint); a
+// zero-capacity cache stores nothing but still counts misses.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[PlanKey]*list.Element
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key   PlanKey
+	value *CachedPlan
+}
+
+// NewPlanCache returns an LRU plan cache holding at most capacity plans.
+// capacity <= 0 disables storage (every lookup misses).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[PlanKey]*list.Element{},
+	}
+}
+
+// Get returns the cached plan for the key, marking it most recently used.
+func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put inserts (or replaces) the plan under the key, evicting the least
+// recently used entry if the cache is full.
+func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).value = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, value: v})
+	for len(c.entries) > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of resident plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   c.Len(),
+		Evictions: c.evictions.Load(),
+	}
+}

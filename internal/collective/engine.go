@@ -7,6 +7,8 @@ package collective
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"blink/internal/core"
 	"blink/internal/graph"
@@ -94,9 +96,21 @@ type Options struct {
 }
 
 // Engine is a collective runtime bound to one induced topology.
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// Run / RunMany / Packing simultaneously. Schedule compilation state
+// (packings, rings) is guarded by mu; compiled schedules live in an LRU
+// PlanCache as immutable FrozenPlans that replay without mutation; and
+// data-mode executions — which move real floats through shared fabric
+// buffers — are serialized on execMu.
 type Engine struct {
 	Topo *topology.Topology
 	Cfg  simgpu.Config
+
+	// mu guards the lazily built scheduling state below (packings, rings).
+	// It is held across TreeGen so concurrent cold calls for one root do
+	// the expensive packing work exactly once.
+	mu sync.Mutex
 
 	// Point-to-point state (DGX-1 class).
 	nvlFabric  *simgpu.Fabric
@@ -110,13 +124,35 @@ type Engine struct {
 	switchFabric *simgpu.Fabric
 	logical      *graph.Graph
 	oneHop       []*core.Packing
+
+	// fingerprint is the induced topology's schedule-cache identity.
+	fingerprint string
+	// id uniquely identifies this engine; data-mode plan keys carry it
+	// because their Exec closures are bound to this engine's fabrics.
+	id uint64
+	// cfgKey is the normalized timing model, part of every plan key.
+	cfgKey simgpu.Config
+	// cache holds compiled schedules; replaceable via SetPlanCache so many
+	// engines can share one cache.
+	cache *PlanCache
+	// execMu serializes Exec-carrying (data mode) replays: they mutate the
+	// fabric's device buffers, so only one may be in flight per engine.
+	execMu sync.Mutex
 }
 
 // NewEngine probes the machine for the allocated devices and prepares a
 // runtime. For switch topologies devs must cover the full machine (partial
 // DGX-2 allocations see a uniform fabric anyway).
+// engineIDs hands every engine a distinct nonzero identity.
+var engineIDs atomic.Uint64
+
 func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engine, error) {
-	e := &Engine{Cfg: cfg}
+	e := &Engine{
+		Cfg:    cfg,
+		cache:  NewPlanCache(DefaultPlanCacheCapacity),
+		id:     engineIDs.Add(1),
+		cfgKey: cfg.Normalized(),
+	}
 	if machine.Kind == topology.KindDGX2 {
 		t, lg, packs, fab, err := core.NewDGX2Runtime(cfg)
 		if err != nil {
@@ -126,6 +162,7 @@ func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engi
 		e.logical = lg
 		e.oneHop = packs
 		e.switchFabric = fab
+		e.fingerprint = t.Fingerprint()
 		return e, nil
 	}
 	ind, err := machine.Induce(devs)
@@ -137,8 +174,30 @@ func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engi
 	e.pcieFabric = simgpu.NewFabric(ind, ind.PCIeGraph(), cfg)
 	e.packings = map[int]*core.Packing{}
 	e.pciePacks = map[int]*core.Packing{}
+	e.fingerprint = ind.Fingerprint()
 	return e, nil
 }
+
+// SetPlanCache replaces the engine's plan cache, e.g. with one shared by
+// several communicators over the same machine (keys carry the topology
+// fingerprint, so entries never collide across allocations). A nil cache
+// resets to a private cache of the default capacity.
+func (e *Engine) SetPlanCache(c *PlanCache) {
+	if c == nil {
+		c = NewPlanCache(DefaultPlanCacheCapacity)
+	}
+	e.cache = c
+}
+
+// PlanCacheHandle returns the engine's plan cache (for sharing or
+// inspection).
+func (e *Engine) PlanCacheHandle() *PlanCache { return e.cache }
+
+// CacheStats snapshots the engine's plan-cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// Fingerprint returns the induced topology's schedule-cache identity.
+func (e *Engine) Fingerprint() string { return e.fingerprint }
 
 // Switched reports whether the engine runs on a switch fabric.
 func (e *Engine) Switched() bool { return e.switchFabric != nil }
@@ -155,6 +214,8 @@ func (e *Engine) NVLinkConnected() bool {
 
 // packing returns (caching) the minimized NVLink tree packing for a root.
 func (e *Engine) packing(root int) (*core.Packing, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if p, ok := e.packings[root]; ok {
 		return p, nil
 	}
@@ -168,6 +229,8 @@ func (e *Engine) packing(root int) (*core.Packing, error) {
 
 // pciePacking returns (caching) the PCIe hub packing for a root.
 func (e *Engine) pciePacking(root int) (*core.Packing, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if p, ok := e.pciePacks[root]; ok {
 		return p, nil
 	}
@@ -181,6 +244,8 @@ func (e *Engine) pciePacking(root int) (*core.Packing, error) {
 
 // ncclRings returns (caching) the NVLink rings NCCL would build.
 func (e *Engine) ncclRings() []ring.Ring {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.ringsDone {
 		e.rings = ring.FindRings(e.Topo.GPUGraph())
 		e.ringsDone = true
@@ -208,11 +273,56 @@ func chunkFor(bytes int64, override int64) int64 {
 }
 
 // Run executes one collective and returns its simulated timing.
+//
+// The first call for a given (op, root, bytes, chunk) key compiles the full
+// TreeGen -> minimize -> CodeGen pipeline and freezes the result into the
+// plan cache; subsequent calls replay the frozen schedule, which is the
+// whole point of Blink's generate-once / run-thousands-of-iterations
+// design. Run is safe for concurrent use.
 func (e *Engine) Run(b Backend, op Op, root int, bytes int64, opts Options) (Result, error) {
+	cp, err := e.lookupOrCompile(b, op, root, bytes, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.replay(cp.Plan)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Seconds: res.Makespan, Bytes: bytes, Strategy: cp.Strategy}
+	if res.Makespan > 0 {
+		out.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
+	}
+	return out, nil
+}
+
+// lookupOrCompile resolves the plan-cache key for the call and returns the
+// cached schedule, compiling and inserting it on a miss. Two goroutines
+// missing on the same key may both compile; both results are identical and
+// the second Put simply replaces the first, so correctness is unaffected.
+func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, error) {
 	if bytes < 4 {
-		return Result{}, fmt.Errorf("collective: payload %d too small", bytes)
+		return nil, fmt.Errorf("collective: payload %d too small", bytes)
 	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
+	key := PlanKey{
+		Fingerprint: e.fingerprint,
+		Config:      e.cfgKey,
+		Backend:     b,
+		Op:          op,
+		Root:        root,
+		Bytes:       bytes,
+		ChunkBytes:  chunk,
+		DataMode:    opts.DataMode,
+		Hybrid:      opts.Hybrid,
+	}
+	if opts.DataMode {
+		// Data-mode Exec closures capture this engine's fabric buffers;
+		// the plan must never be replayed from another engine.
+		key.EngineID = e.id
+	}
+	if cp, ok := e.cache.Get(key); ok {
+		return cp, nil
+	}
 	// The simulator's per-link FIFO arbitration is already fair, so the
 	// stream-reuse workaround for CUDA's unfair scheduling (§4.2.2) is not
 	// needed here; separate streams let launch overheads overlap, matching
@@ -233,17 +343,68 @@ func (e *Engine) Run(b Backend, op Op, root int, bytes int64, opts Options) (Res
 		plan, strategy, err = e.ncclPlan(op, root, bytes, po, ro)
 	}
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	res, err := plan.Execute()
-	if err != nil {
-		return Result{}, err
+	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
+	e.cache.Put(key, cp)
+	return cp, nil
+}
+
+// replay executes a frozen schedule, serializing data-mode plans (whose
+// Exec closures mutate shared fabric buffers) on execMu.
+func (e *Engine) replay(fp *core.FrozenPlan) (simgpu.Result, error) {
+	if fp.HasExec() {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
 	}
-	out := Result{Seconds: res.Makespan, Bytes: bytes, Strategy: strategy}
-	if res.Makespan > 0 {
-		out.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
+	return fp.Replay()
+}
+
+// GroupResult reports one grouped collective dispatch (RunMany).
+type GroupResult struct {
+	// Results holds the per-tensor outcomes in issue order.
+	Results []Result
+	// Seconds is the channel-serialized total: collectives issued on one
+	// communicator execute back-to-back (FIFO), as on a real NCCL
+	// communicator's stream.
+	Seconds float64
+	// Bytes is the total payload across the group.
+	Bytes int64
+	// ThroughputGBs is Bytes/Seconds.
+	ThroughputGBs float64
+	// CacheHits / CacheMisses count plan-cache activity attributable to
+	// this group (approximate if other goroutines dispatch concurrently).
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// RunMany issues one collective per payload size through the plan cache and
+// returns the grouped result. This is the batched entry point a training
+// step uses for its gradient buckets: a model reuses the same handful of
+// bucket sizes every iteration, so after the first step every dispatch in
+// the group is a warm replay.
+func (e *Engine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
+	if len(sizes) == 0 {
+		return GroupResult{}, fmt.Errorf("collective: empty group")
 	}
-	return out, nil
+	before := e.cache.Stats()
+	g := GroupResult{Results: make([]Result, 0, len(sizes))}
+	for _, sz := range sizes {
+		r, err := e.Run(b, op, root, sz, opts)
+		if err != nil {
+			return GroupResult{}, err
+		}
+		g.Results = append(g.Results, r)
+		g.Seconds += r.Seconds
+		g.Bytes += sz
+	}
+	if g.Seconds > 0 {
+		g.ThroughputGBs = float64(g.Bytes) / g.Seconds / 1e9
+	}
+	after := e.cache.Stats()
+	g.CacheHits = after.Hits - before.Hits
+	g.CacheMisses = after.Misses - before.Misses
+	return g, nil
 }
 
 // blinkPlan compiles a Blink schedule on a point-to-point machine.
@@ -401,6 +562,12 @@ func (e *Engine) RunHybridBroadcast(root int, bytes int64, opts Options) (Result
 		return Result{}, nil, err
 	}
 	po := core.PlanOptions{ChunkBytes: chunkFor(bytes, opts.ChunkBytes), DataMode: opts.DataMode, NoStreamReuse: true}
+	if opts.DataMode {
+		// Hybrid plans execute inside BuildHybridBroadcast and, in data
+		// mode, move real floats through shared fabric buffers.
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
 	h, err := core.BuildHybridBroadcast(e.nvlFabric, pn, e.pcieFabric, pp, bytes, po)
 	if err != nil {
 		return Result{}, nil, err

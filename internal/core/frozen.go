@@ -1,0 +1,71 @@
+package core
+
+import (
+	"blink/internal/simgpu"
+)
+
+// FrozenPlan is an immutable, replayable form of a compiled schedule — the
+// unit the collective layer's plan cache stores. Freezing decouples the
+// expensive TreeGen -> minimize -> CodeGen pipeline (run once per unique
+// schedule) from execution (run every training iteration): Replay
+// instantiates fresh simulator ops from the frozen templates, so the shared
+// plan is never mutated and any number of goroutines may replay a
+// timing-only plan concurrently over the same fabric.
+//
+// Plans whose ops carry Exec closures (data mode) mutate fabric buffers
+// when replayed; callers must serialize those replays per fabric (see
+// HasExec).
+type FrozenPlan struct {
+	ops        []simgpu.Op // value templates; Deps/Links slices shared read-only
+	totalBytes int64
+	fabric     *simgpu.Fabric
+	streams    int
+	hasExec    bool
+}
+
+// Freeze converts a freshly built plan into its immutable, replayable form.
+// The plan's op pointers must not be executed or mutated afterwards; the
+// frozen copy is the canonical artifact.
+func (p *Plan) Freeze() *FrozenPlan {
+	fp := &FrozenPlan{
+		ops:        make([]simgpu.Op, len(p.Ops)),
+		totalBytes: p.TotalBytes,
+		fabric:     p.Fabric,
+		streams:    p.Streams,
+	}
+	for i, op := range p.Ops {
+		fp.ops[i] = *op
+		if op.Exec != nil {
+			fp.hasExec = true
+		}
+	}
+	return fp
+}
+
+// Replay executes the schedule on its fabric. Each call materializes fresh
+// ops from the templates, so concurrent replays of the same FrozenPlan are
+// safe as long as the plan carries no Exec closures.
+func (fp *FrozenPlan) Replay() (simgpu.Result, error) {
+	ops := make([]*simgpu.Op, len(fp.ops))
+	for i := range fp.ops {
+		op := fp.ops[i]
+		ops[i] = &op
+	}
+	return fp.fabric.Run(ops)
+}
+
+// TotalBytes is the collective payload the schedule moves.
+func (fp *FrozenPlan) TotalBytes() int64 { return fp.totalBytes }
+
+// Streams is the number of distinct streams the schedule occupies.
+func (fp *FrozenPlan) Streams() int { return fp.streams }
+
+// NumOps is the schedule's op count.
+func (fp *FrozenPlan) NumOps() int { return len(fp.ops) }
+
+// HasExec reports whether the schedule moves real data (data mode). Such
+// replays mutate fabric buffers and must be serialized per fabric.
+func (fp *FrozenPlan) HasExec() bool { return fp.hasExec }
+
+// Fabric returns the fabric the schedule replays over.
+func (fp *FrozenPlan) Fabric() *simgpu.Fabric { return fp.fabric }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func frozenTestPlan(t *testing.T, dataMode bool) (*Plan, *simgpu.Fabric) {
+	t.Helper()
+	machine := topology.DGX1V()
+	ind, err := machine.Induce([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simgpu.Config{DataMode: dataMode}
+	f := simgpu.NewFabric(ind, ind.GPUGraph(), cfg)
+	p, err := GenerateTrees(ind.GPUGraph(), 0, PackOptions{}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildAllReducePlan(f, p, 8<<20, PlanOptions{DataMode: dataMode, NoStreamReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, f
+}
+
+func TestFreezeReplayMatchesExecute(t *testing.T) {
+	plan, _ := frozenTestPlan(t, false)
+	fp := plan.Freeze()
+	if fp.HasExec() {
+		t.Fatal("timing-only plan reports Exec closures")
+	}
+	if fp.NumOps() != len(plan.Ops) || fp.TotalBytes() != plan.TotalBytes || fp.Streams() != plan.Streams {
+		t.Fatal("frozen metadata diverges from plan")
+	}
+	want, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := fp.Replay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Makespan != want.Makespan || got.Ops != want.Ops {
+			t.Fatalf("replay %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestFrozenConcurrentReplay(t *testing.T) {
+	plan, _ := frozenTestPlan(t, false)
+	fp := plan.Freeze()
+	want, err := fp.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]simgpu.Result, 16)
+	errs := make([]error, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fp.Replay()
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Makespan != want.Makespan {
+			t.Fatalf("concurrent replay %d: %v != %v", i, results[i].Makespan, want.Makespan)
+		}
+	}
+}
+
+func TestFrozenDataModeFlag(t *testing.T) {
+	plan, f := frozenTestPlan(t, true)
+	fp := plan.Freeze()
+	if !fp.HasExec() {
+		t.Fatal("data-mode plan must report Exec closures")
+	}
+	if fp.Fabric() != f {
+		t.Fatal("frozen plan lost its fabric")
+	}
+	n := int(plan.TotalBytes / 4)
+	for v := 0; v < 4; v++ {
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = float32(v + 1)
+		}
+		f.SetBuffer(v, BufData, in)
+	}
+	if _, err := fp.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	acc := f.Buffer(0, BufAcc, n)
+	for i := 0; i < n; i += n / 7 {
+		if acc[i] != 10 {
+			t.Fatalf("acc[%d] = %v, want 10", i, acc[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package simgpu
 
 import (
 	"fmt"
+	"sync"
 
 	"blink/internal/graph"
 	"blink/internal/topology"
@@ -31,6 +32,15 @@ type Config struct {
 	// DataMode executes buffer movement (functional verification). When
 	// false, ops are timed only.
 	DataMode bool
+}
+
+// Normalized returns the config with zero fields replaced by their
+// defaults, exactly as NewFabric applies them. Two configs with equal
+// normalized forms build identical fabrics, so the normalized config is
+// the right cache-key component for compiled schedules.
+func (c Config) Normalized() Config {
+	c.setDefaults()
+	return c
 }
 
 // DefaultConfig returns the calibration in DESIGN.md §5.
@@ -90,6 +100,12 @@ type Fabric struct {
 	edgeLinks  [][]int
 	reduceBase int
 
+	// bufMu guards the buffer map so timing-only runs may proceed
+	// concurrently with buffer installation. It does not make concurrent
+	// data-mode runs safe: two plans mutating the same device buffers still
+	// race on contents, so the collective layer serializes Exec-carrying
+	// replays per fabric.
+	bufMu   sync.Mutex
 	buffers map[int][]float32
 }
 
@@ -151,6 +167,8 @@ func (f *Fabric) ReduceLink(v int) int { return f.reduceBase + v }
 // Buffers are keyed by (device, tag) so a collective can address input,
 // output and scratch regions independently.
 func (f *Fabric) Buffer(v, tag, n int) []float32 {
+	f.bufMu.Lock()
+	defer f.bufMu.Unlock()
 	key := v*1024 + tag
 	b := f.buffers[key]
 	if len(b) < n {
@@ -164,7 +182,19 @@ func (f *Fabric) Buffer(v, tag, n int) []float32 {
 
 // SetBuffer installs data as device v's buffer under tag.
 func (f *Fabric) SetBuffer(v, tag int, data []float32) {
+	f.bufMu.Lock()
+	defer f.bufMu.Unlock()
 	f.buffers[v*1024+tag] = data
+}
+
+// ResetBuffers drops every device buffer, returning the fabric to its
+// just-built state. Cached schedules replayed in data mode reuse one fabric
+// across iterations; resetting between replays guarantees no stale payload
+// from a previous (possibly larger) collective leaks into the next result.
+func (f *Fabric) ResetBuffers() {
+	f.bufMu.Lock()
+	defer f.bufMu.Unlock()
+	f.buffers = map[int][]float32{}
 }
 
 // Run executes ops over the fabric's links.

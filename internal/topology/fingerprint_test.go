@@ -1,0 +1,39 @@
+package topology
+
+import "testing"
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	a := DGX1V().Fingerprint()
+	if a == "" || a != DGX1V().Fingerprint() {
+		t.Fatalf("fingerprint not stable: %q", a)
+	}
+	if DGX1P().Fingerprint() == a {
+		t.Fatal("DGX-1P and DGX-1V should differ")
+	}
+	if DGX2().Fingerprint() == a {
+		t.Fatal("DGX-2 and DGX-1V should differ")
+	}
+}
+
+func TestFingerprintReflectsAllocation(t *testing.T) {
+	m := DGX1V()
+	i1, err := m.Induce([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := m.Induce([]int{4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Fingerprint() == i2.Fingerprint() {
+		t.Fatal("different device sets must fingerprint differently")
+	}
+	// Re-inducing the same allocation reproduces the fingerprint.
+	i3, err := m.Induce([]int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Fingerprint() != i3.Fingerprint() {
+		t.Fatal("device order must not change the fingerprint")
+	}
+}

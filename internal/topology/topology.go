@@ -10,7 +10,10 @@
 package topology
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"blink/internal/graph"
@@ -256,6 +259,38 @@ func (t *Topology) Induce(devs []int) (*Topology, error) {
 		DevIDs:  sorted,
 	}
 	return nt, nil
+}
+
+// Fingerprint returns a stable hash of everything that determines schedule
+// generation for this topology: fabric kind, hardware generation, the
+// allocated device set, and both interconnect planes' edge structure. Two
+// topologies with equal fingerprints compile identical schedules, so the
+// fingerprint is usable as a schedule-cache key component shared across
+// communicators.
+func (t *Topology) Fingerprint() string {
+	h := fnv.New64a()
+	w := func(vals ...int64) {
+		var b [8]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			h.Write(b[:])
+		}
+	}
+	w(int64(t.Kind), int64(t.Gen), int64(t.NumGPUs))
+	for _, d := range t.DevIDs {
+		w(int64(d))
+	}
+	for _, g := range []*graph.Graph{t.G, t.P} {
+		if g == nil {
+			w(-1)
+			continue
+		}
+		w(int64(g.N), int64(len(g.Edges)))
+		for _, e := range g.Edges {
+			w(int64(e.From), int64(e.To), int64(e.Type), int64(math.Float64bits(e.Cap)))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // NVLinkGraph returns the point-to-point fabric restricted to GPU vertices
