@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench plancache ci
+.PHONY: all build test race vet fmt-check bench plancache cluster ci
 
 all: build test
 
@@ -10,11 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Concurrency suite under the race detector. The full experiment suite is
-# slow under -race, so target the packages with concurrent paths plus the
-# public API.
+# Test suite under the race detector. The experiment/figure suites are
+# pure compute and very slow under -race, so target the public API plus
+# every package with concurrent or data-moving paths.
 race:
-	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/...
+	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/...
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +30,8 @@ bench:
 
 plancache:
 	$(GO) run ./cmd/blinkbench -plancache -o BENCH_planCache.json
+
+cluster:
+	$(GO) run ./cmd/blinkbench -cluster -o BENCH_cluster.json
 
 ci: fmt-check vet build test race

@@ -245,17 +245,9 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 // rank's result. All buffers must share a length. The communicator must be
 // created WithDataMode.
 func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
-	if err := c.requireData(); err != nil {
+	n, err := c.checkShardInputs(inputs)
+	if err != nil {
 		return nil, err
-	}
-	if len(inputs) != c.Size() {
-		return nil, fmt.Errorf("blink: %d inputs for %d ranks", len(inputs), c.Size())
-	}
-	n := len(inputs[0])
-	for i, in := range inputs {
-		if len(in) != n {
-			return nil, fmt.Errorf("blink: rank %d buffer length %d != %d", i, len(in), n)
-		}
 	}
 	c.dataMu.Lock()
 	defer c.dataMu.Unlock()
@@ -274,6 +266,165 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 	return out, nil
 }
 
+// GatherData collects every rank's buffer at rank root and returns the
+// concatenation in rank order. All buffers must share a length. Data-mode
+// Gather rides Blink's spanning trees; the NCCL baseline has no
+// data-carrying gather schedule, so BackendNCCL is rejected.
+func (c *Comm) GatherData(root int, inputs [][]float32) ([]float32, error) {
+	n, err := c.checkShardInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if c.backend != BackendBlink {
+		return nil, fmt.Errorf("blink: data-mode Gather requires BackendBlink")
+	}
+	total := n * c.Size()
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	f := c.fabric()
+	f.ResetBuffers()
+	for v, in := range inputs {
+		buf := make([]float32, total)
+		copy(buf[v*n:(v+1)*n], in)
+		f.SetBuffer(v, core.BufData, buf)
+	}
+	if _, err := c.run(collective.Gather, root, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), f.Buffer(root, core.BufData, total)...), nil
+}
+
+// ReduceData sums the per-rank buffers elementwise at rank root (the first
+// half of an AllReduce) and returns root's result.
+func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
+	n, err := c.checkShardInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	f := c.fabric()
+	f.ResetBuffers()
+	for v, in := range inputs {
+		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+	}
+	if _, err := c.run(collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), f.Buffer(root, core.BufAcc, n)...), nil
+}
+
+// ScatterData splits root's buffer into Size() equal shards and delivers
+// shard v to rank v (the inverse of Gather). len(data) must be a multiple
+// of Size(). Like GatherData, it requires BackendBlink.
+func (c *Comm) ScatterData(root int, data []float32) ([][]float32, error) {
+	if err := c.requireData(); err != nil {
+		return nil, err
+	}
+	if c.backend != BackendBlink {
+		return nil, fmt.Errorf("blink: data-mode Scatter requires BackendBlink")
+	}
+	total := len(data)
+	if total == 0 || total%c.Size() != 0 {
+		return nil, fmt.Errorf("blink: buffer length %d not a positive multiple of %d ranks", total, c.Size())
+	}
+	n := total / c.Size()
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	f := c.fabric()
+	f.ResetBuffers()
+	f.SetBuffer(root, core.BufData, append([]float32(nil), data...))
+	if _, err := c.run(collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, c.Size())
+	for v := range out {
+		out[v] = append([]float32(nil), f.Buffer(v, core.BufData, total)[v*n:(v+1)*n]...)
+	}
+	return out, nil
+}
+
+// AllGatherData concatenates every rank's buffer on all ranks. The schedule
+// is the AllReduce transfer schedule over zero-padded inputs (summing a
+// buffer that is zero outside each rank's own shard concatenates exactly),
+// the same identification the paper makes for timing.
+func (c *Comm) AllGatherData(inputs [][]float32) ([][]float32, error) {
+	n, err := c.checkShardInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	total := n * c.Size()
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	f := c.fabric()
+	f.ResetBuffers()
+	for v, in := range inputs {
+		buf := make([]float32, total)
+		copy(buf[v*n:(v+1)*n], in)
+		f.SetBuffer(v, core.BufData, buf)
+	}
+	if _, err := c.run(collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, c.Size())
+	for v := range out {
+		out[v] = append([]float32(nil), f.Buffer(v, core.BufAcc, total)...)
+	}
+	return out, nil
+}
+
+// ReduceScatterData sums the per-rank buffers elementwise and leaves rank v
+// with shard v of the result. Buffer lengths must be a multiple of Size().
+// The data movement is the AllReduce schedule; each rank keeps only its
+// shard of the reduction.
+func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
+	n, err := c.checkShardInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if n%c.Size() != 0 {
+		return nil, fmt.Errorf("blink: buffer length %d not a multiple of %d ranks", n, c.Size())
+	}
+	c.dataMu.Lock()
+	defer c.dataMu.Unlock()
+	f := c.fabric()
+	f.ResetBuffers()
+	for v, in := range inputs {
+		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+	}
+	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+		return nil, err
+	}
+	shard := n / c.Size()
+	out := make([][]float32, c.Size())
+	for v := range out {
+		out[v] = append([]float32(nil), f.Buffer(v, core.BufAcc, n)[v*shard:(v+1)*shard]...)
+	}
+	return out, nil
+}
+
+// checkShardInputs validates a per-rank input set for the data-mode
+// collectives: data mode enabled, one equal-length non-empty buffer per
+// rank. It returns the shared buffer length.
+func (c *Comm) checkShardInputs(inputs [][]float32) (int, error) {
+	if err := c.requireData(); err != nil {
+		return 0, err
+	}
+	if len(inputs) != c.Size() {
+		return 0, fmt.Errorf("blink: %d inputs for %d ranks", len(inputs), c.Size())
+	}
+	n := len(inputs[0])
+	if n == 0 {
+		return 0, fmt.Errorf("blink: empty buffer")
+	}
+	for i, in := range inputs {
+		if len(in) != n {
+			return 0, fmt.Errorf("blink: rank %d buffer length %d != %d", i, len(in), n)
+		}
+	}
+	return n, nil
+}
+
 func (c *Comm) requireData() error {
 	if !c.eng.Cfg.DataMode {
 		return fmt.Errorf("blink: communicator not created WithDataMode")
@@ -287,3 +438,107 @@ func (c *Comm) fabric() *simgpu.Fabric { return c.eng.FabricFor(c.backend) }
 // Trees returns the minimized spanning-tree packing Blink generated for
 // broadcasts from root, for introspection and debugging.
 func (c *Comm) Trees(root int) (*core.Packing, error) { return c.eng.Packing(root) }
+
+// ServerSpec names one machine of a multi-server job and the GPUs the
+// scheduler allocated on it.
+type ServerSpec = topology.Server
+
+// Cluster is a multi-server allocation connected by NICs through a
+// non-blocking datacenter switch.
+type Cluster = topology.Cluster
+
+// NewCluster induces each server's sub-topology and assembles the NIC
+// fabric. nicGbps is the per-server NIC speed in Gbit/s (e.g. 40, 100, 400).
+func NewCluster(servers []ServerSpec, nicGbps float64) (*Cluster, error) {
+	return topology.NewCluster(servers, nicGbps)
+}
+
+// ClusterResult reports one cluster collective execution, including the
+// three-phase timing breakdown when the Blink backend ran.
+type ClusterResult = collective.ClusterResult
+
+// ClusterComm is a communicator spanning every GPU of a multi-server
+// cluster — the cluster-scale analogue of Comm. Ranks are numbered
+// server-major (server 0's GPUs first). With the default Blink backend,
+// collectives run the paper's §3.5 three-phase protocol: per-server
+// spanning-tree reduce, cross-server exchange among partition roots over
+// the NICs, per-server tree broadcast. With BackendNCCL they run the flat
+// cross-machine ring baseline. Either way the first dispatch of a shape
+// compiles the full multi-server schedule and freezes it into the plan
+// cache; every later dispatch is a warm replay.
+//
+// A ClusterComm is safe for concurrent use; data-mode calls are serialized
+// internally because they share every server's device buffers.
+type ClusterComm struct {
+	eng     *collective.ClusterEngine
+	backend Backend
+}
+
+// NewClusterComm builds a cluster communicator over a multi-server
+// allocation. Options are the same as NewComm's; WithDataMode enables the
+// *Data variants, and WithPlanCache can pool one cache across cluster and
+// single-machine communicators alike.
+func NewClusterComm(cluster *Cluster, opts ...Option) (*ClusterComm, error) {
+	cfg := commConfig{backend: BackendBlink}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := collective.NewClusterEngine(cluster, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.cache != nil {
+		eng.SetPlanCache(cfg.cache)
+	} else if cfg.cacheCap != nil {
+		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
+	}
+	return &ClusterComm{eng: eng, backend: cfg.backend}, nil
+}
+
+// Size returns the number of ranks across all servers.
+func (c *ClusterComm) Size() int { return c.eng.TotalRanks() }
+
+// ServerSizes returns the per-server GPU counts.
+func (c *ClusterComm) ServerSizes() []int { return c.eng.ServerSizes() }
+
+// Backend returns the communicator's scheduling backend.
+func (c *ClusterComm) Backend() Backend { return c.backend }
+
+// AllReduce sums bytes of float32 gradients across every rank of every
+// server and reports the per-phase timing.
+func (c *ClusterComm) AllReduce(bytes int64) (ClusterResult, error) {
+	return c.eng.Run(c.backend, collective.AllReduce, 0, bytes, collective.Options{})
+}
+
+// AllReduceMany issues one cluster AllReduce per tensor size as a single
+// grouped dispatch — one training step's gradient buckets at cluster scale.
+func (c *ClusterComm) AllReduceMany(sizes []int64) (GroupResult, error) {
+	return c.eng.RunMany(c.backend, collective.AllReduce, 0, sizes, collective.Options{})
+}
+
+// Broadcast sends bytes from the given global rank to every rank.
+func (c *ClusterComm) Broadcast(root int, bytes int64) (ClusterResult, error) {
+	return c.eng.Run(c.backend, collective.Broadcast, root, bytes, collective.Options{})
+}
+
+// AllReduceData sums the per-rank buffers elementwise across servers and
+// returns each global rank's result, moving real float32 data through
+// every phase. Requires WithDataMode.
+func (c *ClusterComm) AllReduceData(inputs [][]float32) ([][]float32, error) {
+	outs, _, err := c.eng.AllReduceData(c.backend, inputs, collective.Options{})
+	return outs, err
+}
+
+// BroadcastData sends root's buffer (a global rank) to every rank and
+// returns each rank's received copy. Requires WithDataMode.
+func (c *ClusterComm) BroadcastData(root int, data []float32) ([][]float32, error) {
+	outs, _, err := c.eng.BroadcastData(c.backend, root, data, collective.Options{})
+	return outs, err
+}
+
+// CacheStats snapshots the communicator's plan-cache counters.
+func (c *ClusterComm) CacheStats() CacheStats { return c.eng.CacheStats() }
+
+// Engine exposes the underlying cluster engine (for benchmarks and
+// training simulations that need grouped dispatch with explicit backends).
+func (c *ClusterComm) Engine() *collective.ClusterEngine { return c.eng }

@@ -1,0 +1,134 @@
+package blink
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func twoServerCluster(t *testing.T, a, b int, nicGbps float64) *Cluster {
+	t.Helper()
+	mkDevs := func(n int) []int {
+		devs := make([]int, n)
+		for i := range devs {
+			devs[i] = i
+		}
+		return devs
+	}
+	c, err := NewCluster([]ServerSpec{
+		{Machine: DGX1V(), Devs: mkDevs(a)},
+		{Machine: DGX1V(), Devs: mkDevs(b)},
+	}, nicGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterCommThreePhase(t *testing.T) {
+	cc, err := NewClusterComm(twoServerCluster(t, 3, 5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Size() != 8 {
+		t.Fatalf("size = %d", cc.Size())
+	}
+	if s := cc.ServerSizes(); len(s) != 2 || s[0] != 3 || s[1] != 5 {
+		t.Fatalf("server sizes = %v", s)
+	}
+	res, err := cc.AllReduce(100 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "3-phase" || res.Phase2 <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	ring, err := NewClusterComm(twoServerCluster(t, 3, 5, 100), WithBackend(BackendNCCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := ring.AllReduce(100 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGBs <= flat.ThroughputGBs {
+		t.Fatalf("three-phase %.2f GB/s should beat flat ring %.2f GB/s",
+			res.ThroughputGBs, flat.ThroughputGBs)
+	}
+	if _, err := cc.Broadcast(6, 32<<20); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.CacheStats(); st.Misses == 0 {
+		t.Fatalf("no compiles recorded: %+v", st)
+	}
+}
+
+// TestClusterCommAllReduceDataAcceptance is the PR's acceptance check:
+// AllReduceData across a 2-server cluster returns elementwise-exact sums on
+// every rank of every server, and warm cluster dispatches hit the plan
+// cache.
+func TestClusterCommAllReduceDataAcceptance(t *testing.T) {
+	cc, err := NewClusterComm(twoServerCluster(t, 3, 5, 100), WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 2048
+	for iter := 0; iter < 3; iter++ {
+		inputs, sum := randInputs(rng, cc.Size(), n)
+		outs, err := cc.AllReduceData(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != cc.Size() {
+			t.Fatalf("%d outputs for %d ranks", len(outs), cc.Size())
+		}
+		for r, out := range outs {
+			for i := range sum {
+				if out[i] != sum[i] {
+					t.Fatalf("iter %d rank %d element %d = %v, want %v", iter, r, i, out[i], sum[i])
+				}
+			}
+		}
+	}
+	st := cc.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("warm cluster dispatches should hit the plan cache: %+v", st)
+	}
+	data := make([]float32, 777)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	outs, err := cc.BroadcastData(5, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, out := range outs {
+		for i := range data {
+			if out[i] != data[i] {
+				t.Fatalf("broadcast rank %d element %d mismatch", r, i)
+			}
+		}
+	}
+}
+
+func TestClusterCommGroupedDispatch(t *testing.T) {
+	cc, err := NewClusterComm(twoServerCluster(t, 4, 4, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{25 << 20, 25 << 20, 5 << 20}
+	cold, err := cc.AllReduceMany(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cc.AllReduceMany(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != uint64(len(sizes)) || warm.CacheMisses != 0 {
+		t.Fatalf("warm group: %d hits %d misses", warm.CacheHits, warm.CacheMisses)
+	}
+	if warm.Seconds != cold.Seconds {
+		t.Fatalf("warm group diverged: %v != %v", warm.Seconds, cold.Seconds)
+	}
+}

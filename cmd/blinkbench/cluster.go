@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"blink/internal/cluster"
+	"blink/internal/collective"
+	"blink/internal/dnn"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// clusterCase is one (allocation, NIC speed, payload) comparison of Blink's
+// cached three-phase protocol against the flat cross-server NCCL ring.
+type clusterCase struct {
+	Allocation    string  `json:"allocation"`
+	NICGbps       float64 `json:"nicGbps"`
+	Bytes         int64   `json:"bytes"`
+	BlinkGBs      float64 `json:"blinkGBs"`
+	RingGBs       float64 `json:"ringGBs"`
+	Speedup       float64 `json:"speedup"`
+	BlinkBeats    bool    `json:"blinkBeatsRing"`
+	Phase1Millis  float64 `json:"phase1Millis"`
+	Phase2Millis  float64 `json:"phase2Millis"`
+	Phase3Millis  float64 `json:"phase3Millis"`
+	Partitions    int     `json:"partitions"`
+	ColdMillis    float64 `json:"coldMillis"`
+	WarmMillis    float64 `json:"warmMillis"`
+	DispatchGain  float64 `json:"dispatchSpeedup"`
+	CacheHits     uint64  `json:"cacheHits"`
+	CacheMisses   uint64  `json:"cacheMisses"`
+	WarmIterCount int     `json:"warmIterCount"`
+}
+
+// clusterTrainCase is one scheduler-derived fragmentation scenario driven
+// through a bucketed training loop at cluster scale.
+type clusterTrainCase struct {
+	Allocation      string  `json:"allocation"`
+	GPUs            int     `json:"gpus"`
+	Model           string  `json:"model"`
+	Buckets         int     `json:"buckets"`
+	Iterations      int     `json:"iterations"`
+	ColdStepMillis  float64 `json:"coldStepMillis"`
+	WarmStepMillis  float64 `json:"warmStepMillis"`
+	SimStepSeconds  float64 `json:"simStepSeconds"`
+	RingStepSeconds float64 `json:"ringStepSeconds"`
+	StepSpeedup     float64 `json:"stepSpeedup"`
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+}
+
+// clusterReport is the schema of BENCH_cluster.json.
+type clusterReport struct {
+	Methodology string             `json:"methodology"`
+	Machine     string             `json:"machine"`
+	GoVersion   string             `json:"goVersion"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	WarmIters   int                `json:"warmIters"`
+	Cases       []clusterCase      `json:"cases"`
+	Training    []clusterTrainCase `json:"training"`
+}
+
+const clusterMethodology = "Each case builds a multi-server DGX-1V " +
+	"cluster (per-server GPU pieces as listed), compiles Blink's " +
+	"three-phase AllReduce (per-server tree reduce, cross-server NIC " +
+	"exchange among partition roots, per-server tree broadcast) and the " +
+	"flat cross-machine NCCL ring over the same NIC fabric, and compares " +
+	"simulated throughput. coldMillis is the wall-clock dispatch latency " +
+	"of the first three-phase collective (per-server TreeGen + ILP " +
+	"minimize + CodeGen + NIC plan + simulate); warmMillis is the mean " +
+	"over warmIters cached replays of the same shape. Training cases draw " +
+	"fragmented allocations from the cluster scheduler simulation " +
+	"(internal/cluster) and drive dnn gradient buckets through a cluster " +
+	"engine for `iterations` steps."
+
+// runClusterBench measures three-phase vs flat-ring cluster collectives
+// and writes the JSON report to out.
+func runClusterBench(out io.Writer) error {
+	const warmIters = 10
+	const payload = int64(100 << 20)
+	machine := topology.DGX1V()
+	rep := clusterReport{
+		Methodology: clusterMethodology,
+		Machine:     machine.Name,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		WarmIters:   warmIters,
+	}
+	allocs := []cluster.Scenario{
+		{Pieces: []int{3, 5}},
+		{Pieces: []int{4, 4}},
+		{Pieces: []int{6, 2}},
+		{Pieces: []int{8, 8}},
+		{Pieces: []int{4, 4, 4, 4}},
+	}
+	for _, sc := range allocs {
+		for _, nic := range []float64{40, 100} {
+			c, err := sc.Cluster(machine, nic)
+			if err != nil {
+				return err
+			}
+			eng, err := collective.NewClusterEngine(c, simgpu.Config{})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			blink, err := eng.Run(collective.Blink, collective.AllReduce, 0, payload, collective.Options{})
+			if err != nil {
+				return err
+			}
+			cold := time.Since(start)
+			start = time.Now()
+			for i := 0; i < warmIters; i++ {
+				if _, err := eng.Run(collective.Blink, collective.AllReduce, 0, payload, collective.Options{}); err != nil {
+					return err
+				}
+			}
+			warm := time.Since(start) / warmIters
+			ring, err := eng.Run(collective.NCCL, collective.AllReduce, 0, payload, collective.Options{})
+			if err != nil {
+				return err
+			}
+			st := eng.CacheStats()
+			cc := clusterCase{
+				Allocation:    sc.Key(),
+				NICGbps:       nic,
+				Bytes:         payload,
+				BlinkGBs:      blink.ThroughputGBs,
+				RingGBs:       ring.ThroughputGBs,
+				BlinkBeats:    blink.ThroughputGBs > ring.ThroughputGBs,
+				Phase1Millis:  blink.Phase1 * 1e3,
+				Phase2Millis:  blink.Phase2 * 1e3,
+				Phase3Millis:  blink.Phase3 * 1e3,
+				Partitions:    blink.Partitions,
+				ColdMillis:    float64(cold) / 1e6,
+				WarmMillis:    float64(warm) / 1e6,
+				CacheHits:     st.Hits,
+				CacheMisses:   st.Misses,
+				WarmIterCount: warmIters,
+			}
+			if ring.ThroughputGBs > 0 {
+				cc.Speedup = blink.ThroughputGBs / ring.ThroughputGBs
+			}
+			if warm > 0 {
+				cc.DispatchGain = float64(cold) / float64(warm)
+			}
+			rep.Cases = append(rep.Cases, cc)
+		}
+	}
+
+	scs, err := cluster.Scenarios(cluster.Config{Jobs: 6000, Seed: 5}, 4)
+	if err != nil {
+		return err
+	}
+	wallClock := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	const iters = 5
+	for _, m := range []*dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
+		outs, err := dnn.SimulateScenarioTraining(scs, machine, 100, m, 25<<20, iters, wallClock)
+		if err != nil {
+			return err
+		}
+		for _, o := range outs {
+			rep.Training = append(rep.Training, clusterTrainCase{
+				Allocation:      o.Allocation,
+				GPUs:            o.GPUs,
+				Model:           o.Run.Model,
+				Buckets:         o.Run.Buckets,
+				Iterations:      o.Run.Iterations,
+				ColdStepMillis:  o.Run.ColdWallSeconds * 1e3,
+				WarmStepMillis:  o.Run.WarmWallSeconds * 1e3,
+				SimStepSeconds:  o.Run.StepSeconds,
+				RingStepSeconds: o.RingStepSeconds,
+				StepSpeedup:     o.StepSpeedup,
+				CacheHits:       o.Run.CacheHits,
+				CacheMisses:     o.Run.CacheMisses,
+			})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// clusterMain handles the -cluster flag: write the report to path (or
+// stdout when path is "-").
+func clusterMain(path string) {
+	writeReport(path, "cluster", runClusterBench)
+}

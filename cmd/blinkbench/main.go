@@ -7,6 +7,7 @@
 //	blinkbench -exp fig15                      # one experiment
 //	blinkbench -list                           # available experiment IDs
 //	blinkbench -plancache -o BENCH_planCache.json  # cold vs warm plan latency
+//	blinkbench -cluster -o BENCH_cluster.json      # three-phase vs flat ring
 package main
 
 import (
@@ -21,11 +22,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	plancache := flag.Bool("plancache", false, "benchmark cold vs warm plan dispatch and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache ('-' = stdout)")
+	clusterBench := flag.Bool("cluster", false, "benchmark multi-server three-phase vs flat-ring collectives and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache/-cluster ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
 		planCacheMain(*out)
+		return
+	}
+	if *clusterBench {
+		clusterMain(*out)
 		return
 	}
 

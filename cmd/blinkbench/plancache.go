@@ -163,27 +163,34 @@ func runPlanCacheBench(out io.Writer) error {
 // planCacheMain handles the -plancache flag: write the report to path (or
 // stdout when path is "-").
 func planCacheMain(path string) {
+	writeReport(path, "plancache", runPlanCacheBench)
+}
+
+// writeReport runs a benchmark against path (or stdout when path is "-"),
+// exiting non-zero on any failure.
+func writeReport(path, prefix string, run func(io.Writer) error) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+		os.Exit(1)
+	}
 	w := io.Writer(os.Stdout)
 	var f *os.File
 	if path != "-" {
 		var err error
 		f, err = os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		w = f
 	}
-	if err := runPlanCacheBench(w); err != nil {
-		fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
-		os.Exit(1)
+	if err := run(w); err != nil {
+		fail(err)
 	}
 	if f != nil {
 		// A deferred-write failure (full disk, NFS) surfaces at Close; a
 		// truncated report must not exit 0.
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "plancache: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 }

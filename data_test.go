@@ -1,0 +1,229 @@
+package blink
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// dataMachines are the fabrics the functional (data-mode) suite covers:
+// both DGX-1 generations (full machines and a fragmented allocation) and
+// the switch-attached DGX-2.
+func dataMachines() []struct {
+	name    string
+	machine *Machine
+	devs    []int
+} {
+	return []struct {
+		name    string
+		machine *Machine
+		devs    []int
+	}{
+		{"dgx1p-full", DGX1P(), []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"dgx1v-full", DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"dgx1v-frag", DGX1V(), []int{1, 4, 5, 6, 7}},
+		{"dgx2", DGX2(), nil},
+	}
+}
+
+// randInputs builds one integer-valued buffer of n floats per rank
+// (integer values keep float32 summation exact in any order) plus the
+// sequential elementwise-sum reference.
+func randInputs(rng *rand.Rand, ranks, n int) (inputs [][]float32, sum []float32) {
+	inputs = make([][]float32, ranks)
+	sum = make([]float32, n)
+	for r := range inputs {
+		inputs[r] = make([]float32, n)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.Intn(64))
+			sum[i] += inputs[r][i]
+		}
+	}
+	return inputs, sum
+}
+
+func assertEq(t *testing.T, ctx string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDataModeOpsExact asserts elementwise-exact results against a
+// sequential reference for all seven collectives, on every machine in the
+// suite, for root 0 and a non-zero root.
+func TestDataModeOpsExact(t *testing.T) {
+	for _, m := range dataMachines() {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			comm, err := NewComm(m.machine, m.devs, WithDataMode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranks := comm.Size()
+			rng := rand.New(rand.NewSource(int64(ranks)))
+			const shard = 96 // floats per rank for the sharded ops
+			full := shard * ranks
+
+			for _, root := range []int{0, ranks - 1} {
+				ctx := fmt.Sprintf("%s root %d", m.name, root)
+
+				// Broadcast: every rank receives root's buffer.
+				src := make([]float32, full)
+				for i := range src {
+					src[i] = float32(rng.Intn(512))
+				}
+				outs, err := comm.BroadcastData(root, src)
+				if err != nil {
+					t.Fatalf("%s broadcast: %v", ctx, err)
+				}
+				for r, out := range outs {
+					assertEq(t, fmt.Sprintf("%s broadcast rank %d", ctx, r), out, src)
+				}
+
+				// AllReduce: every rank holds the elementwise sum.
+				inputs, sum := randInputs(rng, ranks, full)
+				outs, err = comm.AllReduceData(inputs)
+				if err != nil {
+					t.Fatalf("%s allreduce: %v", ctx, err)
+				}
+				for r, out := range outs {
+					assertEq(t, fmt.Sprintf("%s allreduce rank %d", ctx, r), out, sum)
+				}
+
+				// Reduce: root holds the elementwise sum.
+				inputs, sum = randInputs(rng, ranks, full)
+				got, err := comm.ReduceData(root, inputs)
+				if err != nil {
+					t.Fatalf("%s reduce: %v", ctx, err)
+				}
+				assertEq(t, ctx+" reduce", got, sum)
+
+				// Gather: root holds the rank-order concatenation.
+				shards, _ := randInputs(rng, ranks, shard)
+				var concat []float32
+				for _, s := range shards {
+					concat = append(concat, s...)
+				}
+				got, err = comm.GatherData(root, shards)
+				if err != nil {
+					t.Fatalf("%s gather: %v", ctx, err)
+				}
+				assertEq(t, ctx+" gather", got, concat)
+
+				// Scatter: rank v receives shard v of root's buffer.
+				outs, err = comm.ScatterData(root, concat)
+				if err != nil {
+					t.Fatalf("%s scatter: %v", ctx, err)
+				}
+				for r, out := range outs {
+					assertEq(t, fmt.Sprintf("%s scatter rank %d", ctx, r), out, shards[r])
+				}
+
+				// AllGather: every rank holds the concatenation.
+				outs, err = comm.AllGatherData(shards)
+				if err != nil {
+					t.Fatalf("%s allgather: %v", ctx, err)
+				}
+				for r, out := range outs {
+					assertEq(t, fmt.Sprintf("%s allgather rank %d", ctx, r), out, concat)
+				}
+
+				// ReduceScatter: rank v holds shard v of the sum.
+				inputs, sum = randInputs(rng, ranks, full)
+				outs, err = comm.ReduceScatterData(inputs)
+				if err != nil {
+					t.Fatalf("%s reducescatter: %v", ctx, err)
+				}
+				for r, out := range outs {
+					assertEq(t, fmt.Sprintf("%s reducescatter rank %d", ctx, r),
+						out, sum[r*shard:(r+1)*shard])
+				}
+			}
+		})
+	}
+}
+
+// TestDataModeOpsWarmReplay re-runs data collectives of one shape and
+// checks the warm (cached-plan) replays stay exact with fresh payloads.
+func TestDataModeOpsWarmReplay(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{0, 2, 3, 5, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	ranks := comm.Size()
+	const shard = 64
+	for iter := 0; iter < 3; iter++ {
+		shards, _ := randInputs(rng, ranks, shard)
+		var concat []float32
+		for _, s := range shards {
+			concat = append(concat, s...)
+		}
+		got, err := comm.GatherData(2, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEq(t, fmt.Sprintf("warm gather iter %d", iter), got, concat)
+
+		inputs, sum := randInputs(rng, ranks, shard*ranks)
+		res, err := comm.ReduceData(1, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEq(t, fmt.Sprintf("warm reduce iter %d", iter), res, sum)
+	}
+	if st := comm.CacheStats(); st.Hits == 0 {
+		t.Fatalf("warm data replays never hit the plan cache: %+v", st)
+	}
+}
+
+// TestDataModeValidation covers the error surface of the new data ops.
+func TestDataModeValidation(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{5, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comm.GatherData(0, [][]float32{{1}}); err == nil {
+		t.Fatal("wrong rank count accepted")
+	}
+	if _, err := comm.ReduceData(0, [][]float32{{1}, {1, 2}, {1}}); err == nil {
+		t.Fatal("ragged buffers accepted")
+	}
+	if _, err := comm.ScatterData(0, make([]float32, 4)); err == nil {
+		t.Fatal("non-multiple scatter length accepted")
+	}
+	if _, err := comm.ReduceScatterData([][]float32{{1}, {1}, {1}}); err == nil {
+		t.Fatal("non-multiple reducescatter length accepted")
+	}
+	plain, err := NewComm(DGX1V(), []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.GatherData(0, make([][]float32, 3)); err == nil {
+		t.Fatal("data call without WithDataMode accepted")
+	}
+	nccl, err := NewComm(DGX1V(), []int{5, 6, 7}, WithDataMode(), WithBackend(BackendNCCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := nccl.GatherData(0, shards); err == nil {
+		t.Fatal("NCCL data-mode gather accepted (no data-carrying schedule)")
+	}
+	if _, err := nccl.ScatterData(0, make([]float32, 6)); err == nil {
+		t.Fatal("NCCL data-mode scatter accepted")
+	}
+	// The AllReduce-family data ops do support the ring baseline.
+	inputs, sum := randInputs(rand.New(rand.NewSource(3)), 3, 12)
+	got, err := nccl.ReduceData(0, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "nccl reduce", got, sum)
+}

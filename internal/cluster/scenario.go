@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"blink/internal/topology"
+)
+
+// Scenario is one realistic multi-server allocation drawn from the
+// fragmentation study: a job that asked for a power-of-two GPU count and
+// received mixed per-server pieces (e.g. 3+5, 4+4, 6+2 on 8-GPU boxes),
+// exactly the §2 setting Blink's three-phase protocol targets.
+type Scenario struct {
+	// JobID is the scheduler job the allocation came from.
+	JobID int
+	// Requested is the job's GPU request.
+	Requested int
+	// Pieces is the per-server GPU split, largest first. Every piece is
+	// >= 2 (single-GPU pieces join the NIC exchange but run no local
+	// trees, so they are uninteresting for scheduling studies).
+	Pieces []int
+}
+
+// Key canonicalizes the split (e.g. "3+5") for deduplication.
+func (s Scenario) Key() string {
+	ps := append([]int(nil), s.Pieces...)
+	sort.Sort(sort.Reverse(sort.IntSlice(ps)))
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += "+"
+		}
+		out += fmt.Sprint(p)
+	}
+	return out
+}
+
+// Cluster instantiates the scenario on copies of the given machine,
+// allocating GPUs 0..piece-1 on each server (the induced topology depends
+// only on the piece size for the device sets the scheduler hands out
+// contiguously). nicGbps is the per-server NIC speed in Gbit/s.
+func (s Scenario) Cluster(machine *topology.Topology, nicGbps float64) (*topology.Cluster, error) {
+	if len(s.Pieces) < 2 {
+		return nil, fmt.Errorf("cluster: scenario %s is not multi-server", s.Key())
+	}
+	var servers []topology.Server
+	for _, p := range s.Pieces {
+		if p < 1 || p > machine.NumGPUs {
+			return nil, fmt.Errorf("cluster: piece %d does not fit %s", p, machine.Name)
+		}
+		devs := make([]int, p)
+		for i := range devs {
+			devs[i] = i
+		}
+		servers = append(servers, topology.Server{Machine: machine, Devs: devs})
+	}
+	return topology.NewCluster(servers, nicGbps)
+}
+
+// Scenarios runs the fragmentation scheduler and extracts up to max
+// distinct multi-server allocations (deduplicated by piece signature,
+// in order of first appearance). Jobs fragmented into pieces smaller than
+// two GPUs are skipped.
+func Scenarios(cfg Config, max int) ([]Scenario, error) {
+	res, err := Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []Scenario
+	for _, j := range res.Jobs {
+		if len(j.Pieces) < 2 {
+			continue
+		}
+		ok := true
+		for _, p := range j.Pieces {
+			if p < 2 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s := Scenario{JobID: j.ID, Requested: j.Requested, Pieces: append([]int(nil), j.Pieces...)}
+		k := s.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no multi-server allocations in %d jobs (raise Jobs or ArrivalRate)", cfg.Jobs)
+	}
+	return out, nil
+}

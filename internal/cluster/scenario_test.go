@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+
+	"blink/internal/topology"
+)
+
+func TestScenariosEmitMixedAllocations(t *testing.T) {
+	scs, err := Scenarios(Config{Jobs: 6000, Seed: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("no scenarios")
+	}
+	seen := map[string]bool{}
+	for _, s := range scs {
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("duplicate scenario %s", k)
+		}
+		seen[k] = true
+		if len(s.Pieces) < 2 {
+			t.Fatalf("scenario %s is single-server", k)
+		}
+		total := 0
+		for _, p := range s.Pieces {
+			if p < 2 || p > 8 {
+				t.Fatalf("scenario %s has piece %d outside [2,8]", k, p)
+			}
+			total += p
+		}
+		if total != s.Requested {
+			t.Fatalf("scenario %s: pieces sum to %d, requested %d", k, total, s.Requested)
+		}
+	}
+}
+
+func TestScenarioClusterInstantiation(t *testing.T) {
+	s := Scenario{Pieces: []int{5, 3}}
+	c, err := s.Cluster(topology.DGX1V(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalGPUs() != 8 || len(c.Servers) != 2 {
+		t.Fatalf("cluster = %d GPUs over %d servers", c.TotalGPUs(), len(c.Servers))
+	}
+	if c.Servers[0].NumGPUs != 5 || c.Servers[1].NumGPUs != 3 {
+		t.Fatalf("server sizes %d, %d", c.Servers[0].NumGPUs, c.Servers[1].NumGPUs)
+	}
+	if _, err := (Scenario{Pieces: []int{4}}).Cluster(topology.DGX1V(), 100); err == nil {
+		t.Fatal("single-server scenario accepted")
+	}
+	if _, err := (Scenario{Pieces: []int{9, 2}}).Cluster(topology.DGX1V(), 100); err == nil {
+		t.Fatal("oversized piece accepted")
+	}
+}
+
+func TestScenarioKeyCanonical(t *testing.T) {
+	a := Scenario{Pieces: []int{3, 5}}
+	b := Scenario{Pieces: []int{5, 3}}
+	if a.Key() != b.Key() || a.Key() != "5+3" {
+		t.Fatalf("keys %q / %q", a.Key(), b.Key())
+	}
+}

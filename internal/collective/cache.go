@@ -41,10 +41,16 @@ type PlanKey struct {
 }
 
 // CachedPlan is a cache value: the frozen schedule plus the strategy label
-// the engine reported when it compiled it.
+// the engine reported when it compiled it. Exactly one of Plan (a
+// single-fabric schedule) and ClusterPlan (a frozen multi-server
+// three-phase or flat-ring schedule) is set; cluster keys never collide
+// with single-machine keys because their Fingerprint is a
+// topology.Cluster.Fingerprint, which is disjoint from any
+// topology.Topology.Fingerprint.
 type CachedPlan struct {
-	Plan     *core.FrozenPlan
-	Strategy string
+	Plan        *core.FrozenPlan
+	ClusterPlan *ClusterFrozenPlan
+	Strategy    string
 }
 
 // CacheStats is a point-in-time snapshot of cache activity.
@@ -99,8 +105,12 @@ func NewPlanCache(capacity int) *PlanCache {
 func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
 	c.mu.Lock()
 	el, ok := c.entries[k]
+	var v *CachedPlan
 	if ok {
 		c.order.MoveToFront(el)
+		// Read the value inside the critical section: a concurrent Put on
+		// the same key replaces the entry's value field in place.
+		v = el.Value.(*cacheEntry).value
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -108,7 +118,7 @@ func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).value, true
+	return v, true
 }
 
 // Put inserts (or replaces) the plan under the key, evicting the least

@@ -1,0 +1,549 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"blink/internal/core"
+	"blink/internal/ring"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// ClusterEngine is the multi-server counterpart of Engine: it composes one
+// per-server Engine (whose fabrics and cached tree packings drive the
+// intra-machine phases) with the cross-server NIC fabric into cached
+// three-phase schedules (§3.5 / Figure 10). The Blink backend dispatches
+// the three-phase protocol (per-server tree reduce → NIC exchange among
+// partition roots → per-server tree broadcast); the NCCL backend dispatches
+// the flat cross-machine ring baseline the paper compares against.
+//
+// Like Engine, a ClusterEngine is safe for concurrent use: compiled cluster
+// schedules live in the plan cache as immutable ClusterFrozenPlans, and
+// data-mode replays — which move real floats through every server's fabric
+// buffers — are serialized on execMu.
+type ClusterEngine struct {
+	Cluster *topology.Cluster
+	Cfg     simgpu.Config
+
+	engines []*Engine
+	netFab  *simgpu.Fabric
+	// rankBase[s] is the global rank of server s's local rank 0
+	// (server-major numbering, matching the flat-ring baseline).
+	rankBase []int
+	total    int
+
+	fingerprint string
+	cfgKey      simgpu.Config
+	id          uint64
+	cache       *PlanCache
+
+	// mu guards the lazily built flat-ring fabric.
+	mu   sync.Mutex
+	flat *ring.CrossMachineFabric
+	// execMu serializes data-mode replays: they mutate buffers across every
+	// server fabric, so only one may be in flight per cluster engine.
+	execMu sync.Mutex
+	// dataMu makes each *Data call's install-run-read sequence atomic with
+	// respect to other *Data calls. It nests outside execMu (taken inside
+	// Run's replay), never the other way around.
+	dataMu sync.Mutex
+}
+
+// NewClusterEngine builds the per-server engines and the NIC fabric for a
+// cluster. Servers must be point-to-point machines (DGX-1 class or custom);
+// the paper's multi-server protocol targets NIC-attached DGX-1V boxes.
+func NewClusterEngine(c *topology.Cluster, cfg simgpu.Config) (*ClusterEngine, error) {
+	if len(c.Servers) < 2 {
+		return nil, fmt.Errorf("collective: cluster needs >= 2 servers")
+	}
+	e := &ClusterEngine{
+		Cluster:     c,
+		Cfg:         cfg,
+		cache:       NewPlanCache(DefaultPlanCacheCapacity),
+		id:          engineIDs.Add(1),
+		cfgKey:      cfg.Normalized(),
+		fingerprint: c.Fingerprint(),
+	}
+	for si, s := range c.Servers {
+		if s.Kind == topology.KindDGX2 || s.Kind == topology.KindCluster {
+			return nil, fmt.Errorf("collective: server %d: cluster members must be point-to-point machines", si)
+		}
+		devs := make([]int, s.NumGPUs)
+		for i := range devs {
+			devs[i] = i
+		}
+		eng, err := NewEngine(s, devs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("collective: server %d: %w", si, err)
+		}
+		e.rankBase = append(e.rankBase, e.total)
+		e.total += s.NumGPUs
+		e.engines = append(e.engines, eng)
+	}
+	e.netFab = simgpu.NewFabric(c.Servers[0], c.Net, cfg)
+	return e, nil
+}
+
+// TotalRanks returns the number of GPUs across all servers.
+func (e *ClusterEngine) TotalRanks() int { return e.total }
+
+// ServerSizes returns the per-server GPU counts.
+func (e *ClusterEngine) ServerSizes() []int {
+	out := make([]int, len(e.engines))
+	for i, eng := range e.engines {
+		out[i] = eng.Topo.NumGPUs
+	}
+	return out
+}
+
+// Locate maps a global rank (server-major) to its (server, local rank).
+func (e *ClusterEngine) Locate(rank int) (server, local int, err error) {
+	if rank < 0 || rank >= e.total {
+		return 0, 0, fmt.Errorf("collective: rank %d out of range [0,%d)", rank, e.total)
+	}
+	for si := len(e.rankBase) - 1; si >= 0; si-- {
+		if rank >= e.rankBase[si] {
+			return si, rank - e.rankBase[si], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("collective: rank %d unmapped", rank)
+}
+
+// Fingerprint returns the cluster's schedule-cache identity.
+func (e *ClusterEngine) Fingerprint() string { return e.fingerprint }
+
+// SetPlanCache replaces the engine's plan cache, e.g. with one shared with
+// other (cluster or single-machine) communicators; cluster keys carry the
+// cluster fingerprint, so entries never collide. Nil resets to a private
+// default-capacity cache.
+func (e *ClusterEngine) SetPlanCache(c *PlanCache) {
+	if c == nil {
+		c = NewPlanCache(DefaultPlanCacheCapacity)
+	}
+	e.cache = c
+}
+
+// PlanCacheHandle returns the engine's plan cache.
+func (e *ClusterEngine) PlanCacheHandle() *PlanCache { return e.cache }
+
+// CacheStats snapshots the engine's plan-cache counters.
+func (e *ClusterEngine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// ServerEngine exposes server s's per-machine engine (for introspection:
+// packings, fabrics, fingerprints).
+func (e *ClusterEngine) ServerEngine(s int) *Engine { return e.engines[s] }
+
+// ClusterTiming is the per-phase breakdown of one cluster replay. The flat
+// NCCL ring has no phase structure; only Total is set.
+type ClusterTiming struct {
+	Phase1, Phase2, Phase3 float64
+	Total                  float64
+}
+
+// ClusterFrozenPlan is an immutable, replayable multi-server schedule: the
+// cache unit for cluster collectives. Three-phase plans hold one frozen
+// per-server plan per intra-machine phase plus the NIC exchange plan; the
+// NCCL baseline holds a single frozen global-ring plan. Data-mode plans
+// additionally carry the cross-fabric exchange closure that moves partial
+// results between server fabrics in between phase replays.
+type ClusterFrozenPlan struct {
+	phase1 []*core.FrozenPlan
+	phase2 *core.FrozenPlan
+	phase3 []*core.FrozenPlan
+	flat   *core.FrozenPlan
+	// exchange performs the data-mode cross-server movement (summing
+	// partition partials across servers for AllReduce, seeding local roots
+	// for Broadcast). It runs after phase 1 and before phase 3.
+	exchange   func()
+	partitions int
+	hasExec    bool
+}
+
+// HasExec reports whether the schedule moves real data; such replays must
+// be serialized per cluster engine.
+func (p *ClusterFrozenPlan) HasExec() bool { return p.hasExec }
+
+// Partitions returns the number of payload partitions (0 for flat plans).
+func (p *ClusterFrozenPlan) Partitions() int { return p.partitions }
+
+// Replay executes the schedule: every per-server phase-1 plan (cluster
+// phase time is the slowest server), the exchange closure, the NIC plan,
+// and every phase-3 plan.
+func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) {
+	var t ClusterTiming
+	if p.flat != nil {
+		r, err := p.flat.Replay()
+		if err != nil {
+			return t, err
+		}
+		t.Total = r.Makespan
+		return t, nil
+	}
+	for _, fp := range p.phase1 {
+		r, err := fp.Replay()
+		if err != nil {
+			return t, err
+		}
+		if r.Makespan > t.Phase1 {
+			t.Phase1 = r.Makespan
+		}
+	}
+	if p.exchange != nil {
+		p.exchange()
+	}
+	if p.phase2 != nil {
+		r, err := p.phase2.Replay()
+		if err != nil {
+			return t, err
+		}
+		t.Phase2 = r.Makespan
+	}
+	for _, fp := range p.phase3 {
+		r, err := fp.Replay()
+		if err != nil {
+			return t, err
+		}
+		if r.Makespan > t.Phase3 {
+			t.Phase3 = r.Makespan
+		}
+	}
+	t.Total = t.Phase1 + t.Phase2 + t.Phase3
+	return t, nil
+}
+
+// ClusterResult reports one cluster collective execution, with the
+// three-phase timing breakdown when the Blink backend ran.
+type ClusterResult struct {
+	Result
+	Phase1, Phase2, Phase3 float64
+	Partitions             int
+}
+
+// Run executes one cluster collective and returns its simulated timing.
+// Supported ops are AllReduce and Broadcast (root is a global, server-major
+// rank). The first call for a given (backend, op, root, bytes, chunk) key
+// compiles the full multi-server pipeline — per-server TreeGen through the
+// NIC exchange — and freezes it into the plan cache; later calls replay.
+func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Options) (ClusterResult, error) {
+	cp, err := e.lookupOrCompile(b, op, root, bytes, opts)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	plan := cp.ClusterPlan
+	if plan.HasExec() {
+		e.execMu.Lock()
+	}
+	t, err := plan.Replay()
+	if plan.HasExec() {
+		e.execMu.Unlock()
+	}
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	out := ClusterResult{
+		Result:     Result{Seconds: t.Total, Bytes: bytes, Strategy: cp.Strategy},
+		Phase1:     t.Phase1,
+		Phase2:     t.Phase2,
+		Phase3:     t.Phase3,
+		Partitions: plan.Partitions(),
+	}
+	if t.Total > 0 {
+		out.ThroughputGBs = float64(bytes) / t.Total / 1e9
+	}
+	return out, nil
+}
+
+// RunMany issues one cluster collective per payload size through the plan
+// cache — the grouped entry point a multi-server training step uses for its
+// gradient buckets.
+func (e *ClusterEngine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
+	return runGroup(e.cache, sizes, func(sz int64) (Result, error) {
+		r, err := e.Run(b, op, root, sz, opts)
+		return r.Result, err
+	})
+}
+
+// lookupOrCompile resolves the cluster plan-cache key, compiling and
+// inserting the frozen schedule on a miss.
+func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, error) {
+	if bytes < 4 {
+		return nil, fmt.Errorf("collective: payload %d too small", bytes)
+	}
+	if op != AllReduce && op != Broadcast {
+		return nil, fmt.Errorf("collective: cluster collectives support AllReduce and Broadcast, not %v", op)
+	}
+	chunk := chunkFor(bytes, opts.ChunkBytes)
+	key := PlanKey{
+		Fingerprint: e.fingerprint,
+		Config:      e.cfgKey,
+		Backend:     b,
+		Op:          op,
+		Root:        root,
+		Bytes:       bytes,
+		ChunkBytes:  chunk,
+		DataMode:    opts.DataMode,
+	}
+	if opts.DataMode {
+		// Data-mode exchanges and Exec closures capture this cluster's
+		// fabrics; the plan must never replay from another engine.
+		key.EngineID = e.id
+	}
+	if cp, ok := e.cache.Get(key); ok && cp.ClusterPlan != nil {
+		return cp, nil
+	}
+	var plan *ClusterFrozenPlan
+	var strategy string
+	var err error
+	if b == Blink {
+		plan, strategy, err = e.compileThreePhase(op, root, bytes, chunk, opts)
+	} else {
+		plan, strategy, err = e.compileFlatRing(op, root, bytes, chunk, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cp := &CachedPlan{ClusterPlan: plan, Strategy: strategy}
+	e.cache.Put(key, cp)
+	return cp, nil
+}
+
+// serverFabrics returns each server engine's Blink data plane.
+func (e *ClusterEngine) serverFabrics() []*simgpu.Fabric {
+	fabrics := make([]*simgpu.Fabric, len(e.engines))
+	for si, eng := range e.engines {
+		fabrics[si] = eng.FabricFor(Blink)
+	}
+	return fabrics
+}
+
+// compileThreePhase builds and freezes the Blink three-phase schedule,
+// reusing each server engine's cached tree packings.
+func (e *ClusterEngine) compileThreePhase(op Op, root int, bytes int64, chunk int64, opts Options) (*ClusterFrozenPlan, string, error) {
+	fabrics := e.serverFabrics()
+	packFor := func(si, r int) (*core.Packing, error) { return e.engines[si].Packing(r) }
+	po := core.PlanOptions{ChunkBytes: chunk, DataMode: opts.DataMode, NoStreamReuse: true}
+
+	var tp *core.ThreePhasePlans
+	var err error
+	rootServer := -1
+	switch op {
+	case AllReduce:
+		tp, err = core.BuildThreePhaseAllReduce(e.Cluster, fabrics, e.netFab, packFor, bytes, po)
+	case Broadcast:
+		var localRoot int
+		rootServer, localRoot, err = e.Locate(root)
+		if err != nil {
+			return nil, "", err
+		}
+		tp, err = core.BuildThreePhaseBroadcast(e.Cluster, fabrics, e.netFab, packFor, rootServer, localRoot, bytes, po)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	plan := &ClusterFrozenPlan{
+		phase2:     tp.Phase2.Freeze(),
+		partitions: tp.Partitions,
+		hasExec:    opts.DataMode,
+	}
+	for _, p := range tp.Phase1 {
+		plan.phase1 = append(plan.phase1, p.Freeze())
+	}
+	for _, p := range tp.Phase3 {
+		plan.phase3 = append(plan.phase3, p.Freeze())
+	}
+	if opts.DataMode {
+		if op == AllReduce {
+			plan.exchange = allReduceExchange(tp, fabrics)
+		} else {
+			plan.exchange = broadcastExchange(tp, fabrics, rootServer, int(bytes/4))
+		}
+	}
+	return plan, "3-phase", nil
+}
+
+// allReduceExchange builds the data-mode cross-server glue phase 2's NIC
+// transfers stand for: each partition's server-local partials (left in the
+// local roots' accumulators by phase 1) are summed across servers and
+// written back, so phase 3 broadcasts the global result.
+func allReduceExchange(tp *core.ThreePhasePlans, fabrics []*simgpu.Fabric) func() {
+	roots, offs, ns := tp.Roots, tp.PartOffFloats, tp.PartFloats
+	return func() {
+		for p := range roots {
+			off, n := offs[p], ns[p]
+			sum := make([]float32, n)
+			for si := range fabrics {
+				acc := fabrics[si].Buffer(roots[p][si], core.BufAcc, off+n)
+				for i := 0; i < n; i++ {
+					sum[i] += acc[off+i]
+				}
+			}
+			for si := range fabrics {
+				acc := fabrics[si].Buffer(roots[p][si], core.BufAcc, off+n)
+				copy(acc[off:off+n], sum)
+			}
+		}
+	}
+}
+
+// broadcastExchange copies the root's payload from the root server's fabric
+// into every other server's receiving local root before the per-server
+// broadcasts replay.
+func broadcastExchange(tp *core.ThreePhasePlans, fabrics []*simgpu.Fabric, rootServer, totalFloats int) func() {
+	roots := tp.Roots[0]
+	return func() {
+		src := fabrics[rootServer].Buffer(roots[rootServer], core.BufData, totalFloats)
+		for si := range fabrics {
+			if si == rootServer {
+				continue
+			}
+			dst := fabrics[si].Buffer(roots[si], core.BufData, totalFloats)
+			copy(dst[:totalFloats], src[:totalFloats])
+		}
+	}
+}
+
+// compileFlatRing builds and freezes the NCCL cross-machine baseline: one
+// global ring over every GPU, PCIe within servers, NICs between them.
+func (e *ClusterEngine) compileFlatRing(op Op, root int, bytes int64, chunk int64, opts Options) (*ClusterFrozenPlan, string, error) {
+	cf, err := e.flatFabric()
+	if err != nil {
+		return nil, "", err
+	}
+	ro := ring.Options{ChunkBytes: chunk, DataMode: opts.DataMode}
+	var plan *core.Plan
+	switch op {
+	case AllReduce:
+		plan, err = cf.BuildCrossMachineAllReducePlan(bytes, ro)
+	case Broadcast:
+		plan, err = cf.BuildCrossMachineBroadcastPlan(root, bytes, ro)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return &ClusterFrozenPlan{
+		flat:    plan.Freeze(),
+		hasExec: opts.DataMode,
+	}, "flat-ring", nil
+}
+
+// flatFabric lazily assembles the cross-machine ring fabric.
+func (e *ClusterEngine) flatFabric() (*ring.CrossMachineFabric, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.flat == nil {
+		cf, err := ring.NewCrossMachineFabric(e.Cluster, e.Cluster.NICGBs*8, e.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.flat = cf
+	}
+	return e.flat, nil
+}
+
+// AllReduceData sums the per-rank buffers elementwise across every server
+// and returns each global rank's result (server-major order). The cluster
+// engine must have been built with a DataMode config. Blink moves the data
+// through the three-phase protocol (per-server tree reduce, cross-server
+// root exchange, per-server tree broadcast); NCCL moves it around the flat
+// global ring.
+func (e *ClusterEngine) AllReduceData(b Backend, inputs [][]float32, opts Options) ([][]float32, ClusterResult, error) {
+	if !e.Cfg.DataMode {
+		return nil, ClusterResult{}, fmt.Errorf("collective: cluster engine not in data mode")
+	}
+	if len(inputs) != e.total {
+		return nil, ClusterResult{}, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), e.total)
+	}
+	n := len(inputs[0])
+	if n == 0 {
+		return nil, ClusterResult{}, fmt.Errorf("collective: empty buffer")
+	}
+	for i, in := range inputs {
+		if len(in) != n {
+			return nil, ClusterResult{}, fmt.Errorf("collective: rank %d buffer length %d != %d", i, len(in), n)
+		}
+	}
+	opts.DataMode = true
+	e.dataMu.Lock()
+	defer e.dataMu.Unlock()
+	install := func(fabric func(rank int) (*simgpu.Fabric, int)) {
+		for g, in := range inputs {
+			f, local := fabric(g)
+			f.SetBuffer(local, core.BufData, append([]float32(nil), in...))
+		}
+	}
+	read, err := e.prepareData(b, install)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	res, err := e.Run(b, AllReduce, 0, int64(n)*4, opts)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	return read(core.BufAcc, n), res, nil
+}
+
+// BroadcastData sends root's buffer (root is a global rank) to every rank
+// and returns each rank's received copy.
+func (e *ClusterEngine) BroadcastData(b Backend, root int, data []float32, opts Options) ([][]float32, ClusterResult, error) {
+	if !e.Cfg.DataMode {
+		return nil, ClusterResult{}, fmt.Errorf("collective: cluster engine not in data mode")
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, ClusterResult{}, fmt.Errorf("collective: empty buffer")
+	}
+	if _, _, err := e.Locate(root); err != nil {
+		return nil, ClusterResult{}, err
+	}
+	opts.DataMode = true
+	e.dataMu.Lock()
+	defer e.dataMu.Unlock()
+	install := func(fabric func(rank int) (*simgpu.Fabric, int)) {
+		f, local := fabric(root)
+		f.SetBuffer(local, core.BufData, append([]float32(nil), data...))
+	}
+	read, err := e.prepareData(b, install)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	res, err := e.Run(b, Broadcast, root, int64(n)*4, opts)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	return read(core.BufData, n), res, nil
+}
+
+// prepareData resets the backend's fabric buffers, runs the caller's
+// install step with a rank→(fabric, local vertex) resolver, and returns a
+// reader that snapshots every global rank's buffer under a tag.
+func (e *ClusterEngine) prepareData(b Backend, install func(fabric func(rank int) (*simgpu.Fabric, int))) (func(tag, n int) [][]float32, error) {
+	var resolve func(rank int) (*simgpu.Fabric, int)
+	if b == Blink {
+		fabrics := e.serverFabrics()
+		for _, f := range fabrics {
+			f.ResetBuffers()
+		}
+		resolve = func(rank int) (*simgpu.Fabric, int) {
+			si, local, _ := e.Locate(rank)
+			return fabrics[si], local
+		}
+	} else {
+		cf, err := e.flatFabric()
+		if err != nil {
+			return nil, err
+		}
+		cf.Fabric.ResetBuffers()
+		// The flat-ring fabric numbers GPUs globally, server-major.
+		resolve = func(rank int) (*simgpu.Fabric, int) { return cf.Fabric, rank }
+	}
+	install(resolve)
+	return func(tag, n int) [][]float32 {
+		out := make([][]float32, e.total)
+		for g := range out {
+			f, local := resolve(g)
+			out[g] = append([]float32(nil), f.Buffer(local, tag, n)...)
+		}
+		return out
+	}, nil
+}

@@ -384,13 +384,23 @@ type GroupResult struct {
 // bucket sizes every iteration, so after the first step every dispatch in
 // the group is a warm replay.
 func (e *Engine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
+	return runGroup(e.cache, sizes, func(sz int64) (Result, error) {
+		return e.Run(b, op, root, sz, opts)
+	})
+}
+
+// runGroup dispatches one collective per payload size and aggregates the
+// grouped totals plus the cache activity attributable to the group
+// (approximate if other goroutines dispatch concurrently). Shared by the
+// single-machine and cluster engines.
+func runGroup(cache *PlanCache, sizes []int64, run func(int64) (Result, error)) (GroupResult, error) {
 	if len(sizes) == 0 {
 		return GroupResult{}, fmt.Errorf("collective: empty group")
 	}
-	before := e.cache.Stats()
+	before := cache.Stats()
 	g := GroupResult{Results: make([]Result, 0, len(sizes))}
 	for _, sz := range sizes {
-		r, err := e.Run(b, op, root, sz, opts)
+		r, err := run(sz)
 		if err != nil {
 			return GroupResult{}, err
 		}
@@ -401,7 +411,7 @@ func (e *Engine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options
 	if g.Seconds > 0 {
 		g.ThroughputGBs = float64(g.Bytes) / g.Seconds / 1e9
 	}
-	after := e.cache.Stats()
+	after := cache.Stats()
 	g.CacheHits = after.Hits - before.Hits
 	g.CacheMisses = after.Misses - before.Misses
 	return g, nil

@@ -19,20 +19,68 @@ import (
 // phases, but with commodity NICs phase 2 dominates end-to-end time, which
 // is the behaviour Figures 22a/22b probe).
 
-// MultiServerResult reports per-phase and total timing.
-type MultiServerResult struct {
-	Phase1, Phase2, Phase3 float64
-	Total                  float64
-	ThroughputGBs          float64
-	Partitions             int
+// PackFn supplies the spanning-tree packing for a (server, root) pair.
+// The collective layer passes Engine.Packing so the per-server TreeGen work
+// is cached and shared with single-machine dispatches; standalone callers
+// pass a GenerateTrees wrapper.
+type PackFn func(server, root int) (*Packing, error)
+
+// ThreePhasePlans is a compiled multi-server schedule: per-server plans for
+// the intra-machine phases plus one NIC-fabric plan for the cross-machine
+// exchange. Each plan is independently freezable, which is what lets the
+// collective layer cache whole cluster schedules.
+type ThreePhasePlans struct {
+	// Phase1[s] is server s's merged per-partition reduce plan (nil for a
+	// broadcast, which has no reduce phase).
+	Phase1 []*Plan
+	// Phase2 is the NIC exchange over the cluster's switch fabric.
+	Phase2 *Plan
+	// Phase3[s] is server s's merged per-partition broadcast plan.
+	Phase3 []*Plan
+	// Partitions is the number of payload partitions (one local root each).
+	Partitions int
+	// PartOffFloats/PartFloats locate partition p inside the payload.
+	PartOffFloats, PartFloats []int
+	// Roots[p][s] is partition p's local root on server s.
+	Roots [][]int
 }
 
-// MultiServerAllReduce runs Blink's three-phase AllReduce of `bytes` over a
-// cluster. cfg configures every simulated fabric.
-func MultiServerAllReduce(c *topology.Cluster, cfg simgpu.Config, bytes int64, opts PlanOptions) (*MultiServerResult, error) {
+// partitionPayload splits totalFloats into one contiguous partition per
+// local root; the last partition absorbs the remainder so the partitions
+// exactly cover the payload (data mode depends on full coverage).
+func partitionPayload(totalFloats, parts int) (offs, ns []int) {
+	share := totalFloats / parts
+	offs = make([]int, parts)
+	ns = make([]int, parts)
+	off := 0
+	for p := 0; p < parts; p++ {
+		n := share
+		if p == parts-1 {
+			n = totalFloats - off
+		}
+		offs[p], ns[p] = off, n
+		off += n
+	}
+	return offs, ns
+}
+
+// trivialPacking returns an empty packing for a single-GPU server: there is
+// nothing to reduce or broadcast locally, but the server still participates
+// in the NIC exchange.
+func trivialPacking(root int) *Packing { return &Packing{Root: root} }
+
+// BuildThreePhaseAllReduce compiles Blink's three-phase AllReduce of
+// `bytes` over a cluster. fabrics[s] is server s's intra-machine fabric and
+// netFab the NIC fabric (one vertex per server plus the switch relay, as
+// built by topology.NewCluster). packFor supplies per-server packings.
+func BuildThreePhaseAllReduce(c *topology.Cluster, fabrics []*simgpu.Fabric, netFab *simgpu.Fabric, packFor PackFn, bytes int64, opts PlanOptions) (*ThreePhasePlans, error) {
 	if len(c.Servers) < 2 {
 		return nil, fmt.Errorf("core: need >= 2 servers")
 	}
+	if len(fabrics) != len(c.Servers) {
+		return nil, fmt.Errorf("core: %d fabrics for %d servers", len(fabrics), len(c.Servers))
+	}
+	opts.setDefaults()
 	// One partition per GPU of the smallest server: every server can then
 	// host a distinct local root per partition.
 	parts := c.Servers[0].NumGPUs
@@ -44,64 +92,162 @@ func MultiServerAllReduce(c *topology.Cluster, cfg simgpu.Config, bytes int64, o
 	if parts < 1 {
 		return nil, fmt.Errorf("core: empty server in cluster")
 	}
-	share := bytes / int64(parts)
-	share -= share % 4
-	if share < 4 {
+	totalFloats := int(bytes / 4)
+	if totalFloats < parts {
 		return nil, fmt.Errorf("core: payload %d too small for %d partitions", bytes, parts)
 	}
-
-	res := &MultiServerResult{Partitions: parts}
-
-	// Per-server packings rooted at each partition root, reused by phases 1
-	// and 3.
-	type serverState struct {
-		fab   *simgpu.Fabric
-		packs []*Packing
-	}
-	servers := make([]serverState, len(c.Servers))
-	for si, s := range c.Servers {
-		g := s.GPUGraph()
-		fab := simgpu.NewFabric(s, g, cfg)
-		packs := make([]*Packing, parts)
-		for p := 0; p < parts; p++ {
-			root := p % s.NumGPUs
-			pk, err := GenerateTrees(g, root, PackOptions{}, MinimizeOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("core: server %d root %d: %w", si, root, err)
-			}
-			packs[p] = pk
+	tp := &ThreePhasePlans{Partitions: parts}
+	tp.PartOffFloats, tp.PartFloats = partitionPayload(totalFloats, parts)
+	tp.Roots = make([][]int, parts)
+	for p := 0; p < parts; p++ {
+		tp.Roots[p] = make([]int, len(c.Servers))
+		for si, s := range c.Servers {
+			tp.Roots[p][si] = p % s.NumGPUs
 		}
-		servers[si] = serverState{fab: fab, packs: packs}
 	}
 
-	// Phase 1: concurrent per-partition reduces on each server; cluster
-	// phase time is the slowest server.
-	for si := range servers {
-		var plans []*Plan
+	packs, err := resolvePackings(c, packFor, tp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phases 1 and 3: merged per-partition reduce and broadcast plans. The
+	// phase-3 broadcast moves the accumulator (the reduced value phase 2
+	// left at the local root), not the original input.
+	for si := range c.Servers {
+		var p1, p3 []*Plan
 		for p := 0; p < parts; p++ {
-			plan, _, err := BuildReducePlan(servers[si].fab, servers[si].packs[p], share, opts)
+			po := opts
+			po.OffsetFloats = tp.PartOffFloats[p]
+			partBytes := int64(tp.PartFloats[p]) * 4
+			rp, _, err := BuildReducePlan(fabrics[si], packs[si][p], partBytes, po)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("core: server %d partition %d reduce: %w", si, p, err)
 			}
-			plans = append(plans, plan)
+			p1 = append(p1, rp)
+			po.BroadcastAcc = true
+			bp, err := BuildBroadcastPlan(fabrics[si], packs[si][p], partBytes, po)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d partition %d broadcast: %w", si, p, err)
+			}
+			p3 = append(p3, bp)
 		}
-		merged := MergePlans(servers[si].fab, plans...)
-		r, err := merged.Execute()
-		if err != nil {
-			return nil, err
-		}
-		if r.Makespan > res.Phase1 {
-			res.Phase1 = r.Makespan
-		}
+		tp.Phase1 = append(tp.Phase1, MergePlans(fabrics[si], p1...))
+		tp.Phase3 = append(tp.Phase3, MergePlans(fabrics[si], p3...))
 	}
 
 	// Phase 2: each partition's n server-local roots exchange partials over
 	// the NIC fabric (every root sends to the n-1 others through the
 	// datacenter switch) and reduce what they receive.
-	netFab := simgpu.NewFabric(c.Servers[0], c.Net, cfg)
-	var ops []*simgpu.Op
 	n := len(c.Servers)
-	// Locate server->switch and switch->server edges.
+	var xfers []nicTransfer
+	for p := 0; p < parts; p++ {
+		for src := 0; src < n; src++ {
+			for di := 1; di < n; di++ {
+				xfers = append(xfers, nicTransfer{
+					src:   src,
+					dst:   (src + di) % n,
+					bytes: int64(tp.PartFloats[p]) * 4,
+					group: p,
+				})
+			}
+		}
+	}
+	tp.Phase2, err = buildNICExchangePlan(c, netFab, xfers, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// BuildThreePhaseBroadcast compiles the multi-server broadcast: the root
+// server pushes the payload over the NIC fabric to every other server's
+// local root (phase 2), then each server broadcasts locally over its packed
+// trees (phase 3). There is no reduce phase.
+func BuildThreePhaseBroadcast(c *topology.Cluster, fabrics []*simgpu.Fabric, netFab *simgpu.Fabric, packFor PackFn, rootServer, localRoot int, bytes int64, opts PlanOptions) (*ThreePhasePlans, error) {
+	if len(c.Servers) < 2 {
+		return nil, fmt.Errorf("core: need >= 2 servers")
+	}
+	if rootServer < 0 || rootServer >= len(c.Servers) {
+		return nil, fmt.Errorf("core: root server %d out of range", rootServer)
+	}
+	if localRoot < 0 || localRoot >= c.Servers[rootServer].NumGPUs {
+		return nil, fmt.Errorf("core: local root %d out of range on server %d", localRoot, rootServer)
+	}
+	opts.setDefaults()
+	totalFloats := int(bytes / 4)
+	if totalFloats < 1 {
+		return nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	tp := &ThreePhasePlans{Partitions: 1}
+	tp.PartOffFloats, tp.PartFloats = []int{0}, []int{totalFloats}
+	tp.Roots = [][]int{make([]int, len(c.Servers))}
+	for si := range c.Servers {
+		if si == rootServer {
+			tp.Roots[0][si] = localRoot
+		}
+	}
+
+	packs, err := resolvePackings(c, packFor, tp)
+	if err != nil {
+		return nil, err
+	}
+	for si := range c.Servers {
+		bp, err := BuildBroadcastPlan(fabrics[si], packs[si][0], bytes, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d broadcast: %w", si, err)
+		}
+		tp.Phase3 = append(tp.Phase3, MergePlans(fabrics[si], bp))
+	}
+	var xfers []nicTransfer
+	for dst := range c.Servers {
+		if dst != rootServer {
+			xfers = append(xfers, nicTransfer{src: rootServer, dst: dst, bytes: bytes})
+		}
+	}
+	tp.Phase2, err = buildNICExchangePlan(c, netFab, xfers, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// resolvePackings collects the per-(server, partition-root) packings,
+// substituting the trivial packing for single-GPU servers.
+func resolvePackings(c *topology.Cluster, packFor PackFn, tp *ThreePhasePlans) ([][]*Packing, error) {
+	packs := make([][]*Packing, len(c.Servers))
+	for si, s := range c.Servers {
+		packs[si] = make([]*Packing, tp.Partitions)
+		for p := 0; p < tp.Partitions; p++ {
+			root := tp.Roots[p][si]
+			if s.NumGPUs == 1 {
+				packs[si][p] = trivialPacking(root)
+				continue
+			}
+			pk, err := packFor(si, root)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %d root %d: %w", si, root, err)
+			}
+			packs[si][p] = pk
+		}
+	}
+	return packs, nil
+}
+
+// nicTransfer is one cross-server payload movement in phase 2.
+type nicTransfer struct {
+	src, dst int
+	bytes    int64
+	group    int // stream-separation tag (partition index)
+}
+
+// buildNICExchangePlan emits the chunked up-link/down-link op chains for a
+// set of cross-server transfers through the datacenter switch. Each
+// transfer pipelines its chunks: chunk k's down-leg depends on its up-leg,
+// and chunk k+1's up-leg on chunk k's down-leg (store-and-forward at the
+// switch with bounded buffering).
+func buildNICExchangePlan(c *topology.Cluster, netFab *simgpu.Fabric, xfers []nicTransfer, opts PlanOptions) (*Plan, error) {
+	n := len(c.Servers)
 	upE := make([]int, n)
 	downE := make([]int, n)
 	for i := range upE {
@@ -114,67 +260,111 @@ func MultiServerAllReduce(c *topology.Cluster, cfg simgpu.Config, bytes int64, o
 			downE[e.To] = e.ID
 		}
 	}
+	for i := 0; i < n; i++ {
+		if upE[i] < 0 || downE[i] < 0 {
+			return nil, fmt.Errorf("core: server %d lacks NIC edges", i)
+		}
+	}
 	chunk := opts.ChunkBytes
 	if chunk <= 0 {
 		chunk = 4 << 20
 	}
-	for p := 0; p < parts; p++ {
-		for src := 0; src < n; src++ {
-			for di := 1; di < n; di++ {
-				dst := (src + di) % n
-				remaining := share
-				prev := -1
-				ci := 0
-				for remaining > 0 {
-					sz := chunk
-					if sz > remaining {
-						sz = remaining
-					}
-					up := &simgpu.Op{
-						Stream:   p*10000 + src*100 + dst*2,
-						Link:     netFab.EdgeLinks(upE[src])[0],
-						Bytes:    sz,
-						Overhead: cfg.OpOverhead,
-						Label:    fmt.Sprintf("net p%d %d->%d c%d up", p, src, dst, ci),
-					}
-					if prev >= 0 {
-						up.Deps = []int{prev}
-					}
-					ops = append(ops, up)
-					upIdx := len(ops) - 1
-					down := &simgpu.Op{
-						Stream: p*10000 + src*100 + dst*2 + 1,
-						Link:   netFab.EdgeLinks(downE[dst])[0],
-						Bytes:  sz,
-						Deps:   []int{upIdx},
-						Label:  fmt.Sprintf("net p%d %d->%d c%d down", p, src, dst, ci),
-					}
-					ops = append(ops, down)
-					prev = len(ops) - 1
-					remaining -= sz
-					ci++
-				}
+	cfg := netFab.Cfg
+	plan := &Plan{Fabric: netFab}
+	streams := 0
+	for _, x := range xfers {
+		upStream := streams
+		downStream := streams + 1
+		streams += 2
+		remaining := x.bytes
+		prev := -1
+		ci := 0
+		for remaining > 0 {
+			sz := chunk
+			if sz > remaining {
+				sz = remaining
 			}
+			up := &simgpu.Op{
+				Stream:   upStream,
+				Link:     netFab.EdgeLinks(upE[x.src])[0],
+				Bytes:    sz,
+				Overhead: cfg.OpOverhead,
+				Label:    fmt.Sprintf("net p%d %d->%d c%d up", x.group, x.src, x.dst, ci),
+			}
+			if prev >= 0 {
+				up.Deps = []int{prev}
+			}
+			plan.Ops = append(plan.Ops, up)
+			upIdx := len(plan.Ops) - 1
+			down := &simgpu.Op{
+				Stream: downStream,
+				Link:   netFab.EdgeLinks(downE[x.dst])[0],
+				Bytes:  sz,
+				Deps:   []int{upIdx},
+				Label:  fmt.Sprintf("net p%d %d->%d c%d down", x.group, x.src, x.dst, ci),
+			}
+			plan.Ops = append(plan.Ops, down)
+			prev = len(plan.Ops) - 1
+			remaining -= sz
+			ci++
+		}
+		plan.TotalBytes += x.bytes
+	}
+	plan.Streams = streams
+	return plan, nil
+}
+
+// MultiServerResult reports per-phase and total timing.
+type MultiServerResult struct {
+	Phase1, Phase2, Phase3 float64
+	Total                  float64
+	ThroughputGBs          float64
+	Partitions             int
+}
+
+// MultiServerAllReduce runs Blink's three-phase AllReduce of `bytes` over a
+// cluster. cfg configures every simulated fabric. This is the standalone
+// (uncached) entry point; the collective layer's ClusterEngine compiles the
+// same plans once and replays them from its plan cache.
+func MultiServerAllReduce(c *topology.Cluster, cfg simgpu.Config, bytes int64, opts PlanOptions) (*MultiServerResult, error) {
+	fabrics := make([]*simgpu.Fabric, len(c.Servers))
+	for si, s := range c.Servers {
+		fabrics[si] = simgpu.NewFabric(s, s.GPUGraph(), cfg)
+	}
+	netFab := simgpu.NewFabric(c.Servers[0], c.Net, cfg)
+	packCache := map[[2]int]*Packing{}
+	packFor := func(si, root int) (*Packing, error) {
+		if pk, ok := packCache[[2]int{si, root}]; ok {
+			return pk, nil
+		}
+		pk, err := GenerateTrees(c.Servers[si].GPUGraph(), root, PackOptions{}, MinimizeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		packCache[[2]int{si, root}] = pk
+		return pk, nil
+	}
+	tp, err := BuildThreePhaseAllReduce(c, fabrics, netFab, packFor, bytes, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiServerResult{Partitions: tp.Partitions}
+	for _, p := range tp.Phase1 {
+		r, err := p.Execute()
+		if err != nil {
+			return nil, err
+		}
+		if r.Makespan > res.Phase1 {
+			res.Phase1 = r.Makespan
 		}
 	}
-	r2, err := netFab.Run(ops)
+	r2, err := tp.Phase2.Execute()
 	if err != nil {
 		return nil, err
 	}
 	res.Phase2 = r2.Makespan
-
-	// Phase 3: per-server broadcasts of every partition from its root.
-	for si := range servers {
-		var plans []*Plan
-		for p := 0; p < parts; p++ {
-			plan, err := BuildBroadcastPlan(servers[si].fab, servers[si].packs[p], share, opts)
-			if err != nil {
-				return nil, err
-			}
-			plans = append(plans, plan)
-		}
-		merged := MergePlans(servers[si].fab, plans...)
-		r, err := merged.Execute()
+	for _, p := range tp.Phase3 {
+		r, err := p.Execute()
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +372,6 @@ func MultiServerAllReduce(c *topology.Cluster, cfg simgpu.Config, bytes int64, o
 			res.Phase3 = r.Makespan
 		}
 	}
-
 	res.Total = res.Phase1 + res.Phase2 + res.Phase3
 	if res.Total > 0 {
 		res.ThroughputGBs = float64(bytes) / res.Total / 1e9

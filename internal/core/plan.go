@@ -33,6 +33,11 @@ type PlanOptions struct {
 	// [OffsetFloats, OffsetFloats+bytes/4). Used when several plans (e.g.
 	// the per-root DGX-2 one-hop plans) partition one logical buffer.
 	OffsetFloats int
+	// BroadcastAcc makes a standalone broadcast move BufAcc instead of
+	// BufData (data mode). The three-phase multi-server protocol uses it for
+	// phase 3: the value being broadcast is the reduced accumulator left by
+	// phase 2, not the original input.
+	BroadcastAcc bool
 }
 
 func (o *PlanOptions) setDefaults() {
@@ -109,6 +114,48 @@ func shapeOf(g *graph.Graph, a graph.Arborescence) (*treeShape, error) {
 		}
 	}
 	return s, nil
+}
+
+// subtreeVerts returns, for every vertex, the vertices of its subtree
+// (itself included), in deterministic order. Data-mode Gather/Scatter use
+// these lists: the transfer across a tree edge carries one payload shard
+// per vertex of the subtree hanging below that edge.
+func (s *treeShape) subtreeVerts() [][]int {
+	out := make([][]int, len(s.depth))
+	for i := len(s.bfs) - 1; i >= 0; i-- {
+		v := s.bfs[i]
+		out[v] = append(out[v], v)
+		for _, c := range s.children[v] {
+			out[v] = append(out[v], out[c]...)
+		}
+	}
+	return out
+}
+
+// rankSubtrees returns, for every vertex, the GPU ranks (vertex id < ranks)
+// of its subtree, dropping relay vertices, which carry no payload shard.
+func (s *treeShape) rankSubtrees(ranks int) [][]int {
+	all := s.subtreeVerts()
+	for v := range all {
+		kept := all[v][:0]
+		for _, u := range all[v] {
+			if u < ranks {
+				kept = append(kept, u)
+			}
+		}
+		all[v] = kept
+	}
+	return all
+}
+
+// ranksOf returns the number of payload-bearing (GPU) vertices of a
+// fabric's graph: relay vertices such as PCIe hubs forward shards but own
+// none.
+func ranksOf(f *simgpu.Fabric) int {
+	if f.Topo != nil && f.Topo.NumGPUs > 0 && f.Topo.NumGPUs <= f.Graph.N {
+		return f.Topo.NumGPUs
+	}
+	return f.Graph.N
 }
 
 // reverseEdges maps each graph edge to an opposite-direction edge of the
@@ -270,6 +317,25 @@ func (b *planBuilder) copyExec(src, dst, srcTag, dstTag, off, n, bufLen int) fun
 	}
 }
 
+// shardCopyExec builds an Exec closure copying, for each vertex u in verts,
+// floats [u*perVertex+off, u*perVertex+off+n) of BufData from device src to
+// device dst — the data movement of one Gather/Scatter tree transfer.
+func (b *planBuilder) shardCopyExec(src, dst int, verts []int, perVertex, off, n, bufLen int) func() {
+	if !b.opts.DataMode {
+		return nil
+	}
+	f := b.f
+	vs := append([]int(nil), verts...)
+	return func() {
+		sb := f.Buffer(src, BufData, bufLen)
+		db := f.Buffer(dst, BufData, bufLen)
+		for _, u := range vs {
+			base := u * perVertex
+			copy(db[base+off:base+off+n], sb[base+off:base+off+n])
+		}
+	}
+}
+
 // addExec builds an Exec closure adding scratch floats into the accumulator.
 func (b *planBuilder) addExec(dev, scratchTag, off, n, bufLen int) func() {
 	if !b.opts.DataMode {
@@ -336,8 +402,8 @@ func emitBroadcast(b *planBuilder, p *Packing, shapes []*treeShape, regions []re
 		sent[i] = make([]int, b.g.N)
 	}
 	tag := BufData
-	if rootDeps != nil {
-		tag = BufAcc // AllReduce broadcasts the reduced accumulator
+	if rootDeps != nil || b.opts.BroadcastAcc {
+		tag = BufAcc // AllReduce (and phase 3) broadcast the reduced accumulator
 	}
 	for k := 0; k < maxChunks; k++ {
 		for ti := range p.Trees {
@@ -397,6 +463,10 @@ func BuildReducePlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 	if err != nil {
 		return nil, nil, err
 	}
+	// A standalone Reduce (unlike the one embedded in AllReduce, whose
+	// caller chains phases) must seed every accumulator with the device's
+	// own input before any partial arrives.
+	initAccumulators(b, bufLen)
 	rootOps, err := emitReduce(b, p, shapes, regions, rev, bufLen)
 	if err != nil {
 		return nil, nil, err
@@ -496,12 +566,16 @@ func emitReduce(b *planBuilder, p *Packing, shapes []*treeShape, regions []regio
 }
 
 // initAccumulators copies every device's input into its accumulator (data
-// mode only). Returns Exec-only ops so timing is unaffected.
+// mode only), over the plan's own region [OffsetFloats, bufLen) — plans
+// that partition one logical buffer (per-root DGX-2 shares, per-partition
+// cluster phases) each seed just their slice, so a merged plan seeds the
+// whole payload exactly once. Exec-only ops, so timing is unaffected.
 func initAccumulators(b *planBuilder, bufLen int) {
 	if !b.opts.DataMode {
 		return
 	}
 	f := b.f
+	off := b.opts.OffsetFloats
 	for v := 0; v < b.g.N; v++ {
 		v := v
 		b.add(&simgpu.Op{
@@ -510,7 +584,7 @@ func initAccumulators(b *planBuilder, bufLen int) {
 			Exec: func() {
 				in := f.Buffer(v, BufData, bufLen)
 				acc := f.Buffer(v, BufAcc, bufLen)
-				copy(acc, in)
+				copy(acc[off:bufLen], in[off:bufLen])
 			},
 			Label: fmt.Sprintf("acc-init @%d", v),
 		})
@@ -565,7 +639,9 @@ func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 	opts.setDefaults()
 	b := newBuilder(f, opts)
 	totalFloats := int(bytes / 4)
-	n := b.g.N
+	// Shards belong to GPU ranks only; relay vertices (PCIe hubs) forward
+	// payload but contribute none.
+	n := ranksOf(f)
 	if totalFloats < n {
 		return nil, fmt.Errorf("core: payload too small (%d bytes for %d devices)", bytes, n)
 	}
@@ -583,6 +659,11 @@ func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 	if err != nil {
 		return nil, err
 	}
+	subVerts := make([][][]int, len(shapes))
+	for i, s := range shapes {
+		subVerts[i] = s.rankSubtrees(n)
+	}
+	bufLen := perVertex * n
 	upSend := make([]int, b.g.N)
 	maxChunks := 0
 	for _, r := range regions {
@@ -596,7 +677,7 @@ func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 				continue
 			}
 			s := shapes[ti]
-			_, nfl := regions[ti].chunkSpan(k, b.opts.ChunkBytes)
+			soff, nfl := regions[ti].chunkSpan(k, b.opts.ChunkBytes)
 			for vi := range upSend {
 				upSend[vi] = -1
 			}
@@ -605,15 +686,24 @@ func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 				if v == p.Root {
 					continue
 				}
+				shards := subVerts[ti][v]
+				if len(shards) == 0 {
+					continue // relay-only subtree: nothing to gather
+				}
 				upE := rev[s.parentEdge[v]]
+				parent := b.g.Edges[upE].To
 				var deps []int
 				for _, c := range s.children[v] {
 					if upSend[c] >= 0 {
 						deps = append(deps, upSend[c])
 					}
 				}
+				var exec func()
+				if opts.DataMode {
+					exec = b.shardCopyExec(v, parent, shards, perVertex, soff, nfl, bufLen)
+				}
 				upSend[v] = b.addTransfer(phaseGather, ti, upE, s.depth[v],
-					int64(s.subtree[v])*int64(nfl)*4, deps, nil,
+					int64(len(shards))*int64(nfl)*4, deps, exec,
 					fmt.Sprintf("gather t%d c%d %d up", ti, k, v))
 			}
 		}
@@ -629,7 +719,8 @@ func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOption
 	opts.setDefaults()
 	b := newBuilder(f, opts)
 	totalFloats := int(bytes / 4)
-	n := b.g.N
+	// As in Gather, shards belong to GPU ranks only.
+	n := ranksOf(f)
 	if totalFloats < n {
 		return nil, fmt.Errorf("core: payload too small (%d bytes for %d devices)", bytes, n)
 	}
@@ -652,6 +743,11 @@ func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOption
 		}
 		shapes[i] = s
 	}
+	subVerts := make([][][]int, len(shapes))
+	for i, s := range shapes {
+		subVerts[i] = s.rankSubtrees(n)
+	}
+	bufLen := perVertex * n
 	sent := make([]int, b.g.N)
 	maxChunks := 0
 	for _, r := range regions {
@@ -665,7 +761,7 @@ func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOption
 				continue
 			}
 			s := shapes[ti]
-			_, nfl := regions[ti].chunkSpan(k, chunkOpts.ChunkBytes)
+			soff, nfl := regions[ti].chunkSpan(k, chunkOpts.ChunkBytes)
 			for vi := range sent {
 				sent[vi] = -1
 			}
@@ -673,14 +769,22 @@ func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOption
 				if v == p.Root {
 					continue
 				}
+				shards := subVerts[ti][v]
+				if len(shards) == 0 {
+					continue // relay-only subtree: nothing to deliver below
+				}
 				eid := s.parentEdge[v]
 				e := b.g.Edges[eid]
 				var deps []int
 				if up := sent[e.From]; up >= 0 {
 					deps = append(deps, up)
 				}
+				var exec func()
+				if opts.DataMode {
+					exec = b.shardCopyExec(e.From, v, shards, perVertex, soff, nfl, bufLen)
+				}
 				sent[v] = b.addTransfer(phaseBroadcast, ti, eid, s.depth[v],
-					int64(s.subtree[v])*int64(nfl)*4, deps, nil,
+					int64(len(shards))*int64(nfl)*4, deps, exec,
 					fmt.Sprintf("scatter t%d c%d ->%d", ti, k, v))
 			}
 		}

@@ -109,6 +109,18 @@ func (cf *CrossMachineFabric) BuildCrossMachineAllReducePlan(bytes int64, opts O
 	return buildRingAllReduce(cf.Fabric, []logicalRing{cf.Ring}, bytes, opts)
 }
 
+// BuildCrossMachineBroadcastPlan compiles the global-ring broadcast from
+// the given global rank (server-major numbering): the payload pipelines
+// down the N-1 hop chain, crossing NICs wherever the ring exits a server.
+func (cf *CrossMachineFabric) BuildCrossMachineBroadcastPlan(root int, bytes int64, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	lr, err := cf.Ring.rotate(root)
+	if err != nil {
+		return nil, err
+	}
+	return buildChainBroadcast(cf.Fabric, []logicalRing{lr}, bytes, opts)
+}
+
 // SimulatedCrossMachineAllReduceGBs runs the global-ring AllReduce and
 // reports its throughput.
 func SimulatedCrossMachineAllReduceGBs(c *topology.Cluster, nicGbps float64, bytes int64, cfg simgpu.Config) (float64, error) {

@@ -1,7 +1,10 @@
 package topology
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"blink/internal/graph"
 )
@@ -51,6 +54,24 @@ func NewCluster(servers []Server, nicGbps float64) (*Cluster, error) {
 	}
 	c.Net = net
 	return c, nil
+}
+
+// Fingerprint returns a stable hash of everything that determines
+// multi-server schedule generation: the ordered per-server topology
+// fingerprints and the NIC bandwidth. Two clusters with equal fingerprints
+// compile identical three-phase schedules, so the fingerprint is usable as
+// a plan-cache key component shared across cluster communicators.
+func (c *Cluster) Fingerprint() string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(c.NICGBs))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(c.Servers)))
+	h.Write(b[:])
+	for _, s := range c.Servers {
+		h.Write([]byte(s.Fingerprint()))
+	}
+	return fmt.Sprintf("cluster-%016x", h.Sum64())
 }
 
 // TotalGPUs returns the number of GPUs allocated across all servers.

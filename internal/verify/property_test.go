@@ -1,0 +1,138 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blink/internal/collective"
+	"blink/internal/core"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// randomConnectedSpec emits a Parse spec for a random connected NVLink
+// fabric: a random spanning tree (guaranteeing connectivity) plus extra
+// random edges, with 1-2 links each.
+func randomConnectedSpec(rng *rand.Rand, n int) string {
+	var parts []string
+	edge := func(a, b int) {
+		parts = append(parts, fmt.Sprintf("%d-%d:%d", a, b, 1+rng.Intn(2)))
+	}
+	for v := 1; v < n; v++ {
+		edge(rng.Intn(v), v)
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edge(a, b)
+		}
+	}
+	return "v100; " + strings.Join(parts, ", ")
+}
+
+// TestPropertyRandomTopologies is the randomized cross-check for custom
+// fabrics: for random connected topologies and random device subsets,
+// data-mode AllReduce must reproduce the sequential reference sum on every
+// rank, and every packing the engine generates (NVLink trees, or PCIe-hub
+// trees when the induced NVLink plane is disconnected) must satisfy the
+// §3.2 packing invariants.
+func TestPropertyRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	const cases = 30
+	for ci := 0; ci < cases; ci++ {
+		n := 3 + rng.Intn(6) // 3..8 GPUs
+		spec := randomConnectedSpec(rng, n)
+		machine, err := topology.Parse(spec)
+		if err != nil {
+			t.Fatalf("case %d: parse %q: %v", ci, spec, err)
+		}
+		k := 2 + rng.Intn(n-1) // allocation of 2..n devices
+		devs := append([]int(nil), rng.Perm(n)[:k]...)
+		eng, err := collective.NewEngine(machine, devs, simgpu.Config{DataMode: true})
+		if err != nil {
+			t.Fatalf("case %d (%q devs %v): %v", ci, spec, devs, err)
+		}
+
+		// Data-mode AllReduce vs the sequential reference.
+		floats := 32 + rng.Intn(2048)
+		chunk := int64(4 * (1 + rng.Intn(256)))
+		ranks := eng.Topo.NumGPUs
+		f := eng.FabricFor(collective.Blink)
+		want := make([]float32, floats)
+		for v := 0; v < ranks; v++ {
+			in := make([]float32, floats)
+			for i := range in {
+				in[i] = float32(rng.Intn(64))
+				want[i] += in[i]
+			}
+			f.SetBuffer(v, core.BufData, in)
+		}
+		if _, err := eng.Run(collective.Blink, collective.AllReduce, 0, int64(floats)*4,
+			collective.Options{ChunkBytes: chunk, DataMode: true}); err != nil {
+			t.Fatalf("case %d (%q devs %v): allreduce: %v", ci, spec, devs, err)
+		}
+		for v := 0; v < ranks; v++ {
+			got := f.Buffer(v, core.BufAcc, floats)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %d (%q devs %v chunk %d): rank %d float %d = %v, want %v",
+						ci, spec, devs, chunk, v, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Packing invariants for every root, on the plane the engine
+		// actually schedules over.
+		g := eng.Topo.GPUGraph()
+		if !eng.NVLinkConnected() {
+			g = eng.Topo.PCIeGraph()
+		}
+		for root := 0; root < ranks; root++ {
+			pk, err := eng.Packing(root)
+			if err != nil {
+				t.Fatalf("case %d (%q devs %v): packing root %d: %v", ci, spec, devs, root, err)
+			}
+			if err := CheckPacking(g, pk); err != nil {
+				t.Fatalf("case %d (%q devs %v) root %d: %v", ci, spec, devs, root, err)
+			}
+		}
+	}
+}
+
+// TestCheckPackingRejectsBadPackings exercises the invariant checker
+// itself: over-capacity packings and rate mismatches must be caught.
+func TestCheckPackingRejectsBadPackings(t *testing.T) {
+	machine := topology.DGX1V()
+	eng, err := collective.NewEngine(machine, []int{0, 1, 2, 3, 4, 5, 6, 7}, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := eng.Packing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := eng.Topo.GPUGraph()
+	if err := CheckPacking(g, pk); err != nil {
+		t.Fatalf("valid packing rejected: %v", err)
+	}
+	bad := *pk
+	bad.Rate = pk.Rate * 2 // weights no longer sum to the rate
+	if err := CheckPacking(g, &bad); err == nil {
+		t.Fatal("rate mismatch accepted")
+	}
+	over := &core.Packing{Root: pk.Root, Rate: 0, Bound: pk.Bound}
+	for _, tr := range pk.Trees {
+		tr.Weight = tr.Weight * 100 // blows every edge capacity
+		over.Trees = append(over.Trees, tr)
+		over.Rate += tr.Weight
+	}
+	if err := CheckPacking(g, over); err == nil {
+		t.Fatal("over-capacity packing accepted")
+	}
+	if err := CheckPacking(g, nil); err == nil {
+		t.Fatal("nil packing accepted")
+	}
+}

@@ -12,9 +12,59 @@ import (
 
 	"blink/internal/collective"
 	"blink/internal/core"
+	"blink/internal/graph"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
 )
+
+// packingEps absorbs the MWU packing's floating-point accumulation when
+// checking capacity and rate invariants.
+const packingEps = 1e-6
+
+// CheckPacking validates the §3.2 invariants of a spanning-tree packing
+// against the graph it was generated over:
+//
+//  1. every tree is a valid arborescence of g rooted at the packing root,
+//  2. tree weights are positive and sum to the packing rate,
+//  3. the summed weight crossing each edge respects the edge capacity,
+//  4. the rate does not exceed the Edmonds/Lovász upper bound.
+func CheckPacking(g *graph.Graph, p *core.Packing) error {
+	if p == nil {
+		return fmt.Errorf("verify: nil packing")
+	}
+	load := make([]float64, len(g.Edges))
+	rate := 0.0
+	for ti, t := range p.Trees {
+		if t.Weight <= 0 {
+			return fmt.Errorf("verify: tree %d has non-positive weight %v", ti, t.Weight)
+		}
+		if t.Arbo.Root != p.Root {
+			return fmt.Errorf("verify: tree %d rooted at %d, packing root %d", ti, t.Arbo.Root, p.Root)
+		}
+		if err := t.Arbo.Validate(g); err != nil {
+			return fmt.Errorf("verify: tree %d invalid: %w", ti, err)
+		}
+		rate += t.Weight
+		for _, eid := range t.Arbo.Edges {
+			if eid < 0 || eid >= len(g.Edges) {
+				return fmt.Errorf("verify: tree %d uses unknown edge %d", ti, eid)
+			}
+			load[eid] += t.Weight
+		}
+	}
+	if diff := rate - p.Rate; diff > packingEps || diff < -packingEps {
+		return fmt.Errorf("verify: tree weights sum to %v, packing rate %v", rate, p.Rate)
+	}
+	for eid, l := range load {
+		if l > g.Edges[eid].Cap+packingEps {
+			return fmt.Errorf("verify: edge %d loaded %v over capacity %v", eid, l, g.Edges[eid].Cap)
+		}
+	}
+	if p.Bound > 0 && p.Rate > p.Bound+packingEps {
+		return fmt.Errorf("verify: rate %v exceeds optimal bound %v", p.Rate, p.Bound)
+	}
+	return nil
+}
 
 // CaseResult records one verification case.
 type CaseResult struct {
