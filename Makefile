@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench plancache cluster ci
+.PHONY: all build test race vet fmt-check bench plancache cluster dataconc ci
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 # pure compute and very slow under -race, so target the public API plus
 # every package with concurrent or data-moving paths.
 race:
-	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/...
+	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/... ./internal/trace/... ./internal/topology/...
 
 vet:
 	$(GO) vet ./...
@@ -34,4 +34,7 @@ plancache:
 cluster:
 	$(GO) run ./cmd/blinkbench -cluster -o BENCH_cluster.json
 
-ci: fmt-check vet build test race
+dataconc:
+	$(GO) run ./cmd/blinkbench -dataconc -o BENCH_dataConcurrency.json
+
+ci: fmt-check vet build test race bench

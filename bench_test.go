@@ -258,7 +258,7 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ops := mkOps()
-		if _, err := simgpu.Run(links, ops); err != nil {
+		if _, err := simgpu.Run(links, ops, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,7 +21,6 @@ package blink
 
 import (
 	"fmt"
-	"sync"
 
 	"blink/internal/collective"
 	"blink/internal/core"
@@ -94,8 +93,7 @@ func WithPlanCacheCapacity(n int) Option {
 // so several communicators — even over different allocations — can pool
 // one cache without ever satisfying each other incorrectly. Data-mode
 // plans stay private to the communicator that compiled them (their
-// schedules are bound to its device buffers); only timing plans are
-// shared.
+// schedules encode its fabric's layout); only timing plans are shared.
 func WithPlanCache(pc *PlanCache) Option {
 	return func(c *commConfig) { c.cache = pc }
 }
@@ -114,17 +112,15 @@ func NewPlanCache(capacity int) *PlanCache { return collective.NewPlanCache(capa
 // collective of a given shape pays for tree packing, minimization and
 // code generation once and every later iteration replays the plan.
 //
-// A Comm is safe for concurrent use by multiple goroutines. Timing-mode
-// collectives run fully in parallel; data-mode collectives (the *Data
-// methods) are serialized internally because they share device buffers.
+// A Comm is safe for concurrent use by multiple goroutines, in both
+// timing and data mode: every data-mode call executes against its own
+// per-call buffer arena (a simgpu.BufferSet), so any number of *Data calls
+// may replay cached schedules simultaneously.
 type Comm struct {
 	eng     *collective.Engine
 	backend Backend
 	devs    []int
 	machine *Machine
-	// dataMu makes each *Data call's install-run-read sequence atomic with
-	// respect to other *Data calls on this communicator.
-	dataMu sync.Mutex
 }
 
 // NewComm probes the machine for the allocated device IDs and returns a
@@ -226,17 +222,14 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("blink: empty buffer")
 	}
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
-	f.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := c.run(collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+	bs := simgpu.NewBufferSet()
+	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
+	if _, err := c.run(collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, c.Size())
 	for v := 0; v < c.Size(); v++ {
-		out[v] = append([]float32(nil), f.Buffer(v, core.BufData, n)...)
+		out[v] = append([]float32(nil), bs.Buffer(v, core.BufData, n)...)
 	}
 	return out, nil
 }
@@ -249,19 +242,16 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
+	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
-		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, c.Size())
 	for v := 0; v < c.Size(); v++ {
-		out[v] = append([]float32(nil), f.Buffer(v, core.BufAcc, n)...)
+		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, n)...)
 	}
 	return out, nil
 }
@@ -279,19 +269,16 @@ func (c *Comm) GatherData(root int, inputs [][]float32) ([]float32, error) {
 		return nil, fmt.Errorf("blink: data-mode Gather requires BackendBlink")
 	}
 	total := n * c.Size()
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
+	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
 		buf := make([]float32, total)
 		copy(buf[v*n:(v+1)*n], in)
-		f.SetBuffer(v, core.BufData, buf)
+		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := c.run(collective.Gather, root, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+	if _, err := c.run(collective.Gather, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	return append([]float32(nil), f.Buffer(root, core.BufData, total)...), nil
+	return append([]float32(nil), bs.Buffer(root, core.BufData, total)...), nil
 }
 
 // ReduceData sums the per-rank buffers elementwise at rank root (the first
@@ -301,17 +288,14 @@ func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
+	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
-		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+	if _, err := c.run(collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	return append([]float32(nil), f.Buffer(root, core.BufAcc, n)...), nil
+	return append([]float32(nil), bs.Buffer(root, core.BufAcc, n)...), nil
 }
 
 // ScatterData splits root's buffer into Size() equal shards and delivers
@@ -329,17 +313,14 @@ func (c *Comm) ScatterData(root int, data []float32) ([][]float32, error) {
 		return nil, fmt.Errorf("blink: buffer length %d not a positive multiple of %d ranks", total, c.Size())
 	}
 	n := total / c.Size()
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
-	f.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := c.run(collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+	bs := simgpu.NewBufferSet()
+	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
+	if _, err := c.run(collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, c.Size())
 	for v := range out {
-		out[v] = append([]float32(nil), f.Buffer(v, core.BufData, total)[v*n:(v+1)*n]...)
+		out[v] = append([]float32(nil), bs.Buffer(v, core.BufData, total)[v*n:(v+1)*n]...)
 	}
 	return out, nil
 }
@@ -354,21 +335,18 @@ func (c *Comm) AllGatherData(inputs [][]float32) ([][]float32, error) {
 		return nil, err
 	}
 	total := n * c.Size()
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
+	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
 		buf := make([]float32, total)
 		copy(buf[v*n:(v+1)*n], in)
-		f.SetBuffer(v, core.BufData, buf)
+		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := c.run(collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true}); err != nil {
+	if _, err := c.run(collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, c.Size())
 	for v := range out {
-		out[v] = append([]float32(nil), f.Buffer(v, core.BufAcc, total)...)
+		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, total)...)
 	}
 	return out, nil
 }
@@ -385,20 +363,17 @@ func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
 	if n%c.Size() != 0 {
 		return nil, fmt.Errorf("blink: buffer length %d not a multiple of %d ranks", n, c.Size())
 	}
-	c.dataMu.Lock()
-	defer c.dataMu.Unlock()
-	f := c.fabric()
-	f.ResetBuffers()
+	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
-		f.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true}); err != nil {
+	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	shard := n / c.Size()
 	out := make([][]float32, c.Size())
 	for v := range out {
-		out[v] = append([]float32(nil), f.Buffer(v, core.BufAcc, n)[v*shard:(v+1)*shard]...)
+		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, n)[v*shard:(v+1)*shard]...)
 	}
 	return out, nil
 }
@@ -432,9 +407,6 @@ func (c *Comm) requireData() error {
 	return nil
 }
 
-// fabric returns the fabric the backend's plans move data over.
-func (c *Comm) fabric() *simgpu.Fabric { return c.eng.FabricFor(c.backend) }
-
 // Trees returns the minimized spanning-tree packing Blink generated for
 // broadcasts from root, for introspection and debugging.
 func (c *Comm) Trees(root int) (*core.Packing, error) { return c.eng.Packing(root) }
@@ -467,8 +439,9 @@ type ClusterResult = collective.ClusterResult
 // compiles the full multi-server schedule and freezes it into the plan
 // cache; every later dispatch is a warm replay.
 //
-// A ClusterComm is safe for concurrent use; data-mode calls are serialized
-// internally because they share every server's device buffers.
+// A ClusterComm is safe for concurrent use, in both timing and data mode:
+// every data-mode call executes against its own per-call buffer context, so
+// concurrent calls never share any execution state.
 type ClusterComm struct {
 	eng     *collective.ClusterEngine
 	backend Backend

@@ -8,6 +8,7 @@
 //	blinkbench -list                           # available experiment IDs
 //	blinkbench -plancache -o BENCH_planCache.json  # cold vs warm plan latency
 //	blinkbench -cluster -o BENCH_cluster.json      # three-phase vs flat ring
+//	blinkbench -dataconc -o BENCH_dataConcurrency.json  # data-mode caller scaling
 package main
 
 import (
@@ -23,7 +24,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	plancache := flag.Bool("plancache", false, "benchmark cold vs warm plan dispatch and emit JSON")
 	clusterBench := flag.Bool("cluster", false, "benchmark multi-server three-phase vs flat-ring collectives and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache/-cluster ('-' = stdout)")
+	dataconc := flag.Bool("dataconc", false, "benchmark data-mode throughput vs concurrent caller count and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -32,6 +34,10 @@ func main() {
 	}
 	if *clusterBench {
 		clusterMain(*out)
+		return
+	}
+	if *dataconc {
+		dataConcMain(*out)
 		return
 	}
 

@@ -96,8 +96,8 @@ func TestConcurrentMixedOps(t *testing.T) {
 }
 
 // TestConcurrentDataMode runs data-moving collectives from several
-// goroutines; the communicator serializes them internally, so results stay
-// functionally correct.
+// goroutines; each call executes against its own buffer arena, so results
+// stay functionally correct with no internal serialization.
 func TestConcurrentDataMode(t *testing.T) {
 	comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3}, WithDataMode())
 	if err != nil {

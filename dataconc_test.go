@@ -1,0 +1,263 @@
+package blink
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The concurrent data-mode correctness suite: with per-call buffer
+// contexts there is no lock anywhere between a *Data call's install, run
+// and read steps, so many goroutines hammering one communicator must still
+// each observe exactly their own call's results. Payloads are distinct per
+// (goroutine, rank) and verified elementwise-exactly (integer-valued
+// floats, so float32 addition is exact); any cross-call buffer sharing
+// would corrupt at least one goroutine's view. The whole suite runs under
+// -race via `make race`.
+
+// dataConcGoroutines is the fan-out per communicator; the issue floor is 8.
+const dataConcGoroutines = 12
+
+// allReduceInputs builds rank-distinct, goroutine-distinct integer inputs
+// and the expected elementwise sum.
+func allReduceInputs(g, ranks, n int) ([][]float32, []float32) {
+	inputs := make([][]float32, ranks)
+	want := make([]float32, n)
+	for v := range inputs {
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = float32(1000*g + 10*v + i%7)
+			want[i] += in[i]
+		}
+		inputs[v] = in
+	}
+	return inputs, want
+}
+
+func TestConcurrentAllReduceDataExact(t *testing.T) {
+	for _, backend := range []Backend{BackendBlink, BackendNCCL} {
+		comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}, WithDataMode(), WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1024
+		var wg sync.WaitGroup
+		errs := make(chan error, dataConcGoroutines)
+		for g := 0; g < dataConcGoroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Several iterations per goroutine so cold compiles and warm
+				// replays both overlap with other callers.
+				for iter := 0; iter < 3; iter++ {
+					inputs, want := allReduceInputs(g, comm.Size(), n)
+					out, err := comm.AllReduceData(inputs)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for v := range out {
+						for i := range out[v] {
+							if out[v][i] != want[i] {
+								errs <- fmt.Errorf("%v g%d iter%d rank %d elem %d: got %v, want %v",
+									backend, g, iter, v, i, out[v][i], want[i])
+								return
+							}
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentBroadcastDataExact(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 900
+	var wg sync.WaitGroup
+	errs := make(chan error, dataConcGoroutines)
+	for g := 0; g < dataConcGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			root := g % comm.Size()
+			data := make([]float32, n)
+			for i := range data {
+				data[i] = float32(100*g + i%11)
+			}
+			out, err := comm.BroadcastData(root, data)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for v := range out {
+				for i := range data {
+					if out[v][i] != data[i] {
+						errs <- fmt.Errorf("g%d root %d rank %d elem %d: got %v, want %v",
+							g, root, v, i, out[v][i], data[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMixedDataOps interleaves every data-carrying collective on
+// one communicator: the strongest cross-call corruption probe, since each
+// op touches a different mix of BufData/BufAcc/scratch tags.
+func TestConcurrentMixedDataOps(t *testing.T) {
+	comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3}, WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	size := comm.Size()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*dataConcGoroutines)
+	for g := 0; g < 2*dataConcGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				inputs, want := allReduceInputs(g, size, n)
+				out, err := comm.AllReduceData(inputs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for v := range out {
+					for i := range out[v] {
+						if out[v][i] != want[i] {
+							errs <- fmt.Errorf("allreduce g%d rank %d elem %d: got %v want %v", g, v, i, out[v][i], want[i])
+							return
+						}
+					}
+				}
+			case 1:
+				inputs, want := allReduceInputs(g, size, n)
+				got, err := comm.ReduceData(g%size, inputs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("reduce g%d elem %d: got %v want %v", g, i, got[i], want[i])
+						return
+					}
+				}
+			case 2:
+				inputs, _ := allReduceInputs(g, size, n)
+				got, err := comm.GatherData(g%size, inputs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for v := 0; v < size; v++ {
+					for i := 0; i < n; i++ {
+						if got[v*n+i] != inputs[v][i] {
+							errs <- fmt.Errorf("gather g%d shard %d elem %d: got %v want %v", g, v, i, got[v*n+i], inputs[v][i])
+							return
+						}
+					}
+				}
+			default:
+				data := make([]float32, size*n)
+				for i := range data {
+					data[i] = float32(31*g + i%13)
+				}
+				shards, err := comm.ScatterData(g%size, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for v := range shards {
+					for i := range shards[v] {
+						if shards[v][i] != data[v*n+i] {
+							errs <- fmt.Errorf("scatter g%d rank %d elem %d: got %v want %v", g, v, i, shards[v][i], data[v*n+i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClusterDataExact(t *testing.T) {
+	cc, err := NewClusterComm(twoServerCluster(t, 3, 5, 100), WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 768
+	var wg sync.WaitGroup
+	errs := make(chan error, dataConcGoroutines)
+	for g := 0; g < dataConcGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				inputs, want := allReduceInputs(g, cc.Size(), n)
+				out, err := cc.AllReduceData(inputs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r := range out {
+					for i := range out[r] {
+						if out[r][i] != want[i] {
+							errs <- fmt.Errorf("cluster allreduce g%d rank %d elem %d: got %v, want %v",
+								g, r, i, out[r][i], want[i])
+							return
+						}
+					}
+				}
+			} else {
+				root := g % cc.Size()
+				data := make([]float32, n)
+				for i := range data {
+					data[i] = float32(100*g + i%17)
+				}
+				out, err := cc.BroadcastData(root, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r := range out {
+					for i := range data {
+						if out[r][i] != data[i] {
+							errs <- fmt.Errorf("cluster broadcast g%d root %d rank %d elem %d: got %v, want %v",
+								g, root, r, i, out[r][i], data[i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -34,9 +34,10 @@ type PlanKey struct {
 	DataMode   bool
 	Hybrid     bool
 	// EngineID pins data-mode plans to the engine that compiled them.
-	// Their Exec closures capture the compiling engine's fabric buffers,
-	// so replaying them from another engine would read and write the
-	// wrong fabric; timing-only plans (EngineID 0) are freely shareable.
+	// Their Exec closures encode that engine's fabric geometry (relay
+	// vertices, shard layouts), so replaying them from another engine
+	// would move the wrong regions; timing-only plans (EngineID 0) are
+	// freely shareable.
 	EngineID uint64
 }
 

@@ -279,19 +279,18 @@ func TestSharedCacheDataModeIsolation(t *testing.T) {
 	}
 	const n = 256
 	run := func(e *Engine) []float32 {
-		f := e.FabricFor(Blink)
-		f.ResetBuffers()
+		bufs := simgpu.NewBufferSet()
 		for v := 0; v < 4; v++ {
 			in := make([]float32, n)
 			for i := range in {
 				in[i] = float32(v + 1)
 			}
-			f.SetBuffer(v, 0 /* core.BufData */, in)
+			bufs.SetBuffer(v, 0 /* core.BufData */, in)
 		}
-		if _, err := e.Run(Blink, AllReduce, 0, n*4, Options{DataMode: true}); err != nil {
+		if _, err := e.Run(Blink, AllReduce, 0, n*4, Options{DataMode: true, Buffers: bufs}); err != nil {
 			t.Fatal(err)
 		}
-		return append([]float32(nil), f.Buffer(0, 1 /* core.BufAcc */, n)...)
+		return append([]float32(nil), bufs.Buffer(0, 1 /* core.BufAcc */, n)...)
 	}
 	for i, e := range []*Engine{mk(), mk()} {
 		out := run(e)
@@ -352,21 +351,20 @@ func TestDataModeCachedReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := e.FabricFor(Blink)
 	const n = 1024
 	run := func(scale float32) []float32 {
-		f.ResetBuffers()
+		bufs := simgpu.NewBufferSet()
 		for v := 0; v < 4; v++ {
 			in := make([]float32, n)
 			for i := range in {
 				in[i] = scale * float32(v+1)
 			}
-			f.SetBuffer(v, 0 /* core.BufData */, in)
+			bufs.SetBuffer(v, 0 /* core.BufData */, in)
 		}
-		if _, err := e.Run(Blink, AllReduce, 0, n*4, Options{DataMode: true}); err != nil {
+		if _, err := e.Run(Blink, AllReduce, 0, n*4, Options{DataMode: true, Buffers: bufs}); err != nil {
 			t.Fatal(err)
 		}
-		return append([]float32(nil), f.Buffer(0, 1 /* core.BufAcc */, n)...)
+		return append([]float32(nil), bufs.Buffer(0, 1 /* core.BufAcc */, n)...)
 	}
 	got1 := run(1) // cold compile
 	got2 := run(2) // warm replay, doubled inputs

@@ -20,8 +20,8 @@ import (
 //
 // Like Engine, a ClusterEngine is safe for concurrent use: compiled cluster
 // schedules live in the plan cache as immutable ClusterFrozenPlans, and
-// data-mode replays — which move real floats through every server's fabric
-// buffers — are serialized on execMu.
+// every data-mode call executes against its own ClusterBuffers context, so
+// any number of data-mode replays may be in flight at once.
 type ClusterEngine struct {
 	Cluster *topology.Cluster
 	Cfg     simgpu.Config
@@ -41,13 +41,17 @@ type ClusterEngine struct {
 	// mu guards the lazily built flat-ring fabric.
 	mu   sync.Mutex
 	flat *ring.CrossMachineFabric
-	// execMu serializes data-mode replays: they mutate buffers across every
-	// server fabric, so only one may be in flight per cluster engine.
-	execMu sync.Mutex
-	// dataMu makes each *Data call's install-run-read sequence atomic with
-	// respect to other *Data calls. It nests outside execMu (taken inside
-	// Run's replay), never the other way around.
-	dataMu sync.Mutex
+}
+
+// ClusterBuffers is the per-call execution context of a cluster data-mode
+// replay: one private simgpu.BufferSet per server for the three-phase
+// protocol (Servers[si] holds server si's device buffers, locally numbered)
+// or a single arena spanning all global ranks for the flat-ring baseline.
+// Each *Data call builds its own ClusterBuffers, so concurrent calls never
+// share any execution state.
+type ClusterBuffers struct {
+	Servers []*simgpu.BufferSet
+	Flat    *simgpu.BufferSet
 }
 
 // NewClusterEngine builds the per-server engines and the NIC fabric for a
@@ -145,8 +149,10 @@ type ClusterTiming struct {
 // cache unit for cluster collectives. Three-phase plans hold one frozen
 // per-server plan per intra-machine phase plus the NIC exchange plan; the
 // NCCL baseline holds a single frozen global-ring plan. Data-mode plans
-// additionally carry the cross-fabric exchange closure that moves partial
-// results between server fabrics in between phase replays.
+// additionally carry the cross-server exchange closure that moves partial
+// results between the per-server arenas in between phase replays; like
+// every Exec closure, it resolves buffers through the per-call context, so
+// the frozen plan itself is shareable across concurrent calls.
 type ClusterFrozenPlan struct {
 	phase1 []*core.FrozenPlan
 	phase2 *core.FrozenPlan
@@ -154,34 +160,50 @@ type ClusterFrozenPlan struct {
 	flat   *core.FrozenPlan
 	// exchange performs the data-mode cross-server movement (summing
 	// partition partials across servers for AllReduce, seeding local roots
-	// for Broadcast). It runs after phase 1 and before phase 3.
-	exchange   func()
+	// for Broadcast) through the call's per-server arenas. It runs after
+	// phase 1 and before phase 3.
+	exchange   func(servers []*simgpu.BufferSet)
 	partitions int
 	hasExec    bool
 }
 
-// HasExec reports whether the schedule moves real data; such replays must
-// be serialized per cluster engine.
+// HasExec reports whether the schedule moves real data; such plans need a
+// ReplayData context for their results to be observable.
 func (p *ClusterFrozenPlan) HasExec() bool { return p.hasExec }
 
 // Partitions returns the number of payload partitions (0 for flat plans).
 func (p *ClusterFrozenPlan) Partitions() int { return p.partitions }
 
-// Replay executes the schedule: every per-server phase-1 plan (cluster
-// phase time is the slowest server), the exchange closure, the NIC plan,
-// and every phase-3 plan.
-func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) {
+// Replay executes the schedule for timing; any data movement lands in
+// throwaway arenas. Use ReplayData to observe moved data.
+func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) { return p.ReplayData(nil) }
+
+// ReplayData executes the schedule against ctx, the call's private buffer
+// context: every per-server phase-1 plan (cluster phase time is the slowest
+// server), the exchange closure, the NIC plan, and every phase-3 plan. A
+// nil ctx degrades to timing-only execution.
+func (p *ClusterFrozenPlan) ReplayData(ctx *ClusterBuffers) (ClusterTiming, error) {
 	var t ClusterTiming
 	if p.flat != nil {
-		r, err := p.flat.Replay()
+		var fb *simgpu.BufferSet
+		if ctx != nil {
+			fb = ctx.Flat
+		}
+		r, err := p.flat.ReplayData(fb)
 		if err != nil {
 			return t, err
 		}
 		t.Total = r.Makespan
 		return t, nil
 	}
-	for _, fp := range p.phase1 {
-		r, err := fp.Replay()
+	serverBuf := func(si int) *simgpu.BufferSet {
+		if ctx == nil || si >= len(ctx.Servers) {
+			return nil
+		}
+		return ctx.Servers[si]
+	}
+	for si, fp := range p.phase1 {
+		r, err := fp.ReplayData(serverBuf(si))
 		if err != nil {
 			return t, err
 		}
@@ -189,8 +211,8 @@ func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) {
 			t.Phase1 = r.Makespan
 		}
 	}
-	if p.exchange != nil {
-		p.exchange()
+	if p.exchange != nil && ctx != nil {
+		p.exchange(ctx.Servers)
 	}
 	if p.phase2 != nil {
 		r, err := p.phase2.Replay()
@@ -199,8 +221,8 @@ func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) {
 		}
 		t.Phase2 = r.Makespan
 	}
-	for _, fp := range p.phase3 {
-		r, err := fp.Replay()
+	for si, fp := range p.phase3 {
+		r, err := fp.ReplayData(serverBuf(si))
 		if err != nil {
 			return t, err
 		}
@@ -226,20 +248,21 @@ type ClusterResult struct {
 // compiles the full multi-server pipeline — per-server TreeGen through the
 // NIC exchange — and freezes it into the plan cache; later calls replay.
 func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Options) (ClusterResult, error) {
-	cp, err := e.lookupOrCompile(b, op, root, bytes, opts)
+	res, _, err := e.runCounted(b, op, root, bytes, opts, nil)
+	return res, err
+}
+
+// runCounted is Run plus exact cache attribution and an optional per-call
+// data context (nil for timing-only dispatches).
+func (e *ClusterEngine) runCounted(b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers) (ClusterResult, bool, error) {
+	cp, hit, err := e.lookupOrCompile(b, op, root, bytes, opts)
 	if err != nil {
-		return ClusterResult{}, err
+		return ClusterResult{}, false, err
 	}
 	plan := cp.ClusterPlan
-	if plan.HasExec() {
-		e.execMu.Lock()
-	}
-	t, err := plan.Replay()
-	if plan.HasExec() {
-		e.execMu.Unlock()
-	}
+	t, err := plan.ReplayData(ctx)
 	if err != nil {
-		return ClusterResult{}, err
+		return ClusterResult{}, hit, err
 	}
 	out := ClusterResult{
 		Result:     Result{Seconds: t.Total, Bytes: bytes, Strategy: cp.Strategy},
@@ -251,27 +274,28 @@ func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Option
 	if t.Total > 0 {
 		out.ThroughputGBs = float64(bytes) / t.Total / 1e9
 	}
-	return out, nil
+	return out, hit, nil
 }
 
 // RunMany issues one cluster collective per payload size through the plan
 // cache — the grouped entry point a multi-server training step uses for its
 // gradient buckets.
 func (e *ClusterEngine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
-	return runGroup(e.cache, sizes, func(sz int64) (Result, error) {
-		r, err := e.Run(b, op, root, sz, opts)
-		return r.Result, err
+	return runGroup(sizes, func(sz int64) (Result, bool, error) {
+		r, hit, err := e.runCounted(b, op, root, sz, opts, nil)
+		return r.Result, hit, err
 	})
 }
 
 // lookupOrCompile resolves the cluster plan-cache key, compiling and
-// inserting the frozen schedule on a miss.
-func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, error) {
+// inserting the frozen schedule on a miss; hit reports whether this call
+// replayed a cached plan.
+func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
 	if bytes < 4 {
-		return nil, fmt.Errorf("collective: payload %d too small", bytes)
+		return nil, false, fmt.Errorf("collective: payload %d too small", bytes)
 	}
 	if op != AllReduce && op != Broadcast {
-		return nil, fmt.Errorf("collective: cluster collectives support AllReduce and Broadcast, not %v", op)
+		return nil, false, fmt.Errorf("collective: cluster collectives support AllReduce and Broadcast, not %v", op)
 	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
 	key := PlanKey{
@@ -285,12 +309,13 @@ func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64,
 		DataMode:    opts.DataMode,
 	}
 	if opts.DataMode {
-		// Data-mode exchanges and Exec closures capture this cluster's
-		// fabrics; the plan must never replay from another engine.
+		// Data-mode plans encode this cluster's geometry (rank→server
+		// mapping, partition layout), so the plan must never replay from
+		// another engine even though buffers themselves are per-call.
 		key.EngineID = e.id
 	}
 	if cp, ok := e.cache.Get(key); ok && cp.ClusterPlan != nil {
-		return cp, nil
+		return cp, true, nil
 	}
 	var plan *ClusterFrozenPlan
 	var strategy string
@@ -301,11 +326,11 @@ func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64,
 		plan, strategy, err = e.compileFlatRing(op, root, bytes, chunk, opts)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	cp := &CachedPlan{ClusterPlan: plan, Strategy: strategy}
 	e.cache.Put(key, cp)
-	return cp, nil
+	return cp, false, nil
 }
 
 // serverFabrics returns each server engine's Blink data plane.
@@ -354,9 +379,9 @@ func (e *ClusterEngine) compileThreePhase(op Op, root int, bytes int64, chunk in
 	}
 	if opts.DataMode {
 		if op == AllReduce {
-			plan.exchange = allReduceExchange(tp, fabrics)
+			plan.exchange = allReduceExchange(tp)
 		} else {
-			plan.exchange = broadcastExchange(tp, fabrics, rootServer, int(bytes/4))
+			plan.exchange = broadcastExchange(tp, rootServer, int(bytes/4))
 		}
 	}
 	return plan, "3-phase", nil
@@ -365,39 +390,41 @@ func (e *ClusterEngine) compileThreePhase(op Op, root int, bytes int64, chunk in
 // allReduceExchange builds the data-mode cross-server glue phase 2's NIC
 // transfers stand for: each partition's server-local partials (left in the
 // local roots' accumulators by phase 1) are summed across servers and
-// written back, so phase 3 broadcasts the global result.
-func allReduceExchange(tp *core.ThreePhasePlans, fabrics []*simgpu.Fabric) func() {
+// written back, so phase 3 broadcasts the global result. The closure
+// captures only the frozen partition geometry; buffers resolve through the
+// call's per-server arenas.
+func allReduceExchange(tp *core.ThreePhasePlans) func([]*simgpu.BufferSet) {
 	roots, offs, ns := tp.Roots, tp.PartOffFloats, tp.PartFloats
-	return func() {
+	return func(servers []*simgpu.BufferSet) {
 		for p := range roots {
 			off, n := offs[p], ns[p]
 			sum := make([]float32, n)
-			for si := range fabrics {
-				acc := fabrics[si].Buffer(roots[p][si], core.BufAcc, off+n)
+			for si := range servers {
+				acc := servers[si].Buffer(roots[p][si], core.BufAcc, off+n)
 				for i := 0; i < n; i++ {
 					sum[i] += acc[off+i]
 				}
 			}
-			for si := range fabrics {
-				acc := fabrics[si].Buffer(roots[p][si], core.BufAcc, off+n)
+			for si := range servers {
+				acc := servers[si].Buffer(roots[p][si], core.BufAcc, off+n)
 				copy(acc[off:off+n], sum)
 			}
 		}
 	}
 }
 
-// broadcastExchange copies the root's payload from the root server's fabric
+// broadcastExchange copies the root's payload from the root server's arena
 // into every other server's receiving local root before the per-server
 // broadcasts replay.
-func broadcastExchange(tp *core.ThreePhasePlans, fabrics []*simgpu.Fabric, rootServer, totalFloats int) func() {
+func broadcastExchange(tp *core.ThreePhasePlans, rootServer, totalFloats int) func([]*simgpu.BufferSet) {
 	roots := tp.Roots[0]
-	return func() {
-		src := fabrics[rootServer].Buffer(roots[rootServer], core.BufData, totalFloats)
-		for si := range fabrics {
+	return func(servers []*simgpu.BufferSet) {
+		src := servers[rootServer].Buffer(roots[rootServer], core.BufData, totalFloats)
+		for si := range servers {
 			if si == rootServer {
 				continue
 			}
-			dst := fabrics[si].Buffer(roots[si], core.BufData, totalFloats)
+			dst := servers[si].Buffer(roots[si], core.BufData, totalFloats)
 			copy(dst[:totalFloats], src[:totalFloats])
 		}
 	}
@@ -464,23 +491,19 @@ func (e *ClusterEngine) AllReduceData(b Backend, inputs [][]float32, opts Option
 		}
 	}
 	opts.DataMode = true
-	e.dataMu.Lock()
-	defer e.dataMu.Unlock()
-	install := func(fabric func(rank int) (*simgpu.Fabric, int)) {
-		for g, in := range inputs {
-			f, local := fabric(g)
-			f.SetBuffer(local, core.BufData, append([]float32(nil), in...))
-		}
-	}
-	read, err := e.prepareData(b, install)
+	ctx, resolve, err := e.prepareData(b)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	res, err := e.Run(b, AllReduce, 0, int64(n)*4, opts)
+	for g, in := range inputs {
+		bs, local := resolve(g)
+		bs.SetBuffer(local, core.BufData, append([]float32(nil), in...))
+	}
+	res, _, err := e.runCounted(b, AllReduce, 0, int64(n)*4, opts, ctx)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	return read(core.BufAcc, n), res, nil
+	return e.readData(resolve, core.BufAcc, n), res, nil
 }
 
 // BroadcastData sends root's buffer (root is a global rank) to every rank
@@ -497,53 +520,53 @@ func (e *ClusterEngine) BroadcastData(b Backend, root int, data []float32, opts 
 		return nil, ClusterResult{}, err
 	}
 	opts.DataMode = true
-	e.dataMu.Lock()
-	defer e.dataMu.Unlock()
-	install := func(fabric func(rank int) (*simgpu.Fabric, int)) {
-		f, local := fabric(root)
-		f.SetBuffer(local, core.BufData, append([]float32(nil), data...))
-	}
-	read, err := e.prepareData(b, install)
+	ctx, resolve, err := e.prepareData(b)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	res, err := e.Run(b, Broadcast, root, int64(n)*4, opts)
+	bs, local := resolve(root)
+	bs.SetBuffer(local, core.BufData, append([]float32(nil), data...))
+	res, _, err := e.runCounted(b, Broadcast, root, int64(n)*4, opts, ctx)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	return read(core.BufData, n), res, nil
+	return e.readData(resolve, core.BufData, n), res, nil
 }
 
-// prepareData resets the backend's fabric buffers, runs the caller's
-// install step with a rank→(fabric, local vertex) resolver, and returns a
-// reader that snapshots every global rank's buffer under a tag.
-func (e *ClusterEngine) prepareData(b Backend, install func(fabric func(rank int) (*simgpu.Fabric, int))) (func(tag, n int) [][]float32, error) {
-	var resolve func(rank int) (*simgpu.Fabric, int)
+// prepareData builds a fresh per-call buffer context for the backend and
+// returns it with a rank→(arena, local vertex) resolver. The context starts
+// empty — there is no shared state to reset, which is exactly what lets
+// concurrent *Data calls proceed without any serialization.
+func (e *ClusterEngine) prepareData(b Backend) (*ClusterBuffers, func(rank int) (*simgpu.BufferSet, int), error) {
+	ctx := &ClusterBuffers{}
+	var resolve func(rank int) (*simgpu.BufferSet, int)
 	if b == Blink {
-		fabrics := e.serverFabrics()
-		for _, f := range fabrics {
-			f.ResetBuffers()
+		ctx.Servers = make([]*simgpu.BufferSet, len(e.engines))
+		for si := range ctx.Servers {
+			ctx.Servers[si] = simgpu.NewBufferSet()
 		}
-		resolve = func(rank int) (*simgpu.Fabric, int) {
+		resolve = func(rank int) (*simgpu.BufferSet, int) {
 			si, local, _ := e.Locate(rank)
-			return fabrics[si], local
+			return ctx.Servers[si], local
 		}
 	} else {
-		cf, err := e.flatFabric()
-		if err != nil {
-			return nil, err
+		// The flat-ring fabric numbers GPUs globally, server-major, so one
+		// arena spans every rank.
+		if _, err := e.flatFabric(); err != nil {
+			return nil, nil, err
 		}
-		cf.Fabric.ResetBuffers()
-		// The flat-ring fabric numbers GPUs globally, server-major.
-		resolve = func(rank int) (*simgpu.Fabric, int) { return cf.Fabric, rank }
+		ctx.Flat = simgpu.NewBufferSet()
+		resolve = func(rank int) (*simgpu.BufferSet, int) { return ctx.Flat, rank }
 	}
-	install(resolve)
-	return func(tag, n int) [][]float32 {
-		out := make([][]float32, e.total)
-		for g := range out {
-			f, local := resolve(g)
-			out[g] = append([]float32(nil), f.Buffer(local, tag, n)...)
-		}
-		return out
-	}, nil
+	return ctx, resolve, nil
+}
+
+// readData snapshots every global rank's buffer under a tag.
+func (e *ClusterEngine) readData(resolve func(rank int) (*simgpu.BufferSet, int), tag, n int) [][]float32 {
+	out := make([][]float32, e.total)
+	for g := range out {
+		bs, local := resolve(g)
+		out[g] = append([]float32(nil), bs.Buffer(local, tag, n)...)
+	}
+	return out
 }

@@ -93,6 +93,12 @@ type Options struct {
 	Hybrid bool
 	// DataMode moves real data (functional verification).
 	DataMode bool
+	// Buffers is the per-call buffer arena a data-mode dispatch executes
+	// against: inputs are installed into it before the call and results read
+	// from it after. It is not part of the plan-cache key — the same frozen
+	// schedule serves every arena. Nil with DataMode falls back to a
+	// throwaway arena (timing only).
+	Buffers *simgpu.BufferSet
 }
 
 // Engine is a collective runtime bound to one induced topology.
@@ -100,9 +106,10 @@ type Options struct {
 // An Engine is safe for concurrent use: any number of goroutines may call
 // Run / RunMany / Packing simultaneously. Schedule compilation state
 // (packings, rings) is guarded by mu; compiled schedules live in an LRU
-// PlanCache as immutable FrozenPlans that replay without mutation; and
-// data-mode executions — which move real floats through shared fabric
-// buffers — are serialized on execMu.
+// PlanCache as immutable FrozenPlans that replay without mutation. Data-
+// mode dispatches run fully in parallel too: each call executes against its
+// own simgpu.BufferSet (Options.Buffers), so no execution state is shared
+// between calls.
 type Engine struct {
 	Topo *topology.Topology
 	Cfg  simgpu.Config
@@ -135,9 +142,6 @@ type Engine struct {
 	// cache holds compiled schedules; replaceable via SetPlanCache so many
 	// engines can share one cache.
 	cache *PlanCache
-	// execMu serializes Exec-carrying (data mode) replays: they mutate the
-	// fabric's device buffers, so only one may be in flight per engine.
-	execMu sync.Mutex
 }
 
 // NewEngine probes the machine for the allocated devices and prepares a
@@ -280,28 +284,36 @@ func chunkFor(bytes int64, override int64) int64 {
 // whole point of Blink's generate-once / run-thousands-of-iterations
 // design. Run is safe for concurrent use.
 func (e *Engine) Run(b Backend, op Op, root int, bytes int64, opts Options) (Result, error) {
-	cp, err := e.lookupOrCompile(b, op, root, bytes, opts)
+	res, _, err := e.runCounted(b, op, root, bytes, opts)
+	return res, err
+}
+
+// runCounted is Run plus exact cache attribution: hit reports whether this
+// call replayed a cached plan (true) or compiled one (false).
+func (e *Engine) runCounted(b Backend, op Op, root int, bytes int64, opts Options) (Result, bool, error) {
+	cp, hit, err := e.lookupOrCompile(b, op, root, bytes, opts)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	res, err := e.replay(cp.Plan)
+	res, err := cp.Plan.ReplayData(opts.Buffers)
 	if err != nil {
-		return Result{}, err
+		return Result{}, hit, err
 	}
 	out := Result{Seconds: res.Makespan, Bytes: bytes, Strategy: cp.Strategy}
 	if res.Makespan > 0 {
 		out.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
 	}
-	return out, nil
+	return out, hit, nil
 }
 
 // lookupOrCompile resolves the plan-cache key for the call and returns the
-// cached schedule, compiling and inserting it on a miss. Two goroutines
-// missing on the same key may both compile; both results are identical and
-// the second Put simply replaces the first, so correctness is unaffected.
-func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, error) {
+// cached schedule plus whether this call hit the cache, compiling and
+// inserting the plan on a miss. Two goroutines missing on the same key may
+// both compile; both results are identical and the second Put simply
+// replaces the first, so correctness is unaffected.
+func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
 	if bytes < 4 {
-		return nil, fmt.Errorf("collective: payload %d too small", bytes)
+		return nil, false, fmt.Errorf("collective: payload %d too small", bytes)
 	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
 	key := PlanKey{
@@ -321,7 +333,7 @@ func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts O
 		key.EngineID = e.id
 	}
 	if cp, ok := e.cache.Get(key); ok {
-		return cp, nil
+		return cp, true, nil
 	}
 	// The simulator's per-link FIFO arbitration is already fair, so the
 	// stream-reuse workaround for CUDA's unfair scheduling (§4.2.2) is not
@@ -343,21 +355,11 @@ func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts O
 		plan, strategy, err = e.ncclPlan(op, root, bytes, po, ro)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
 	e.cache.Put(key, cp)
-	return cp, nil
-}
-
-// replay executes a frozen schedule, serializing data-mode plans (whose
-// Exec closures mutate shared fabric buffers) on execMu.
-func (e *Engine) replay(fp *core.FrozenPlan) (simgpu.Result, error) {
-	if fp.HasExec() {
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-	}
-	return fp.Replay()
+	return cp, false, nil
 }
 
 // GroupResult reports one grouped collective dispatch (RunMany).
@@ -372,8 +374,10 @@ type GroupResult struct {
 	Bytes int64
 	// ThroughputGBs is Bytes/Seconds.
 	ThroughputGBs float64
-	// CacheHits / CacheMisses count plan-cache activity attributable to
-	// this group (approximate if other goroutines dispatch concurrently).
+	// CacheHits / CacheMisses count this group's own plan-cache activity:
+	// every dispatch reports whether it replayed a cached plan or compiled
+	// one, so the counts are exact no matter how many other goroutines
+	// dispatch concurrently.
 	CacheHits   uint64
 	CacheMisses uint64
 }
@@ -384,25 +388,30 @@ type GroupResult struct {
 // bucket sizes every iteration, so after the first step every dispatch in
 // the group is a warm replay.
 func (e *Engine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
-	return runGroup(e.cache, sizes, func(sz int64) (Result, error) {
-		return e.Run(b, op, root, sz, opts)
+	return runGroup(sizes, func(sz int64) (Result, bool, error) {
+		return e.runCounted(b, op, root, sz, opts)
 	})
 }
 
 // runGroup dispatches one collective per payload size and aggregates the
-// grouped totals plus the cache activity attributable to the group
-// (approximate if other goroutines dispatch concurrently). Shared by the
-// single-machine and cluster engines.
-func runGroup(cache *PlanCache, sizes []int64, run func(int64) (Result, error)) (GroupResult, error) {
+// grouped totals plus the group's own cache activity. Each dispatch reports
+// its hit/miss directly, so attribution is exact even while other
+// goroutines hammer the same cache. Shared by the single-machine and
+// cluster engines.
+func runGroup(sizes []int64, run func(int64) (Result, bool, error)) (GroupResult, error) {
 	if len(sizes) == 0 {
 		return GroupResult{}, fmt.Errorf("collective: empty group")
 	}
-	before := cache.Stats()
 	g := GroupResult{Results: make([]Result, 0, len(sizes))}
 	for _, sz := range sizes {
-		r, err := run(sz)
+		r, hit, err := run(sz)
 		if err != nil {
 			return GroupResult{}, err
+		}
+		if hit {
+			g.CacheHits++
+		} else {
+			g.CacheMisses++
 		}
 		g.Results = append(g.Results, r)
 		g.Seconds += r.Seconds
@@ -411,9 +420,6 @@ func runGroup(cache *PlanCache, sizes []int64, run func(int64) (Result, error)) 
 	if g.Seconds > 0 {
 		g.ThroughputGBs = float64(g.Bytes) / g.Seconds / 1e9
 	}
-	after := cache.Stats()
-	g.CacheHits = after.Hits - before.Hits
-	g.CacheMisses = after.Misses - before.Misses
 	return g, nil
 }
 
@@ -572,13 +578,9 @@ func (e *Engine) RunHybridBroadcast(root int, bytes int64, opts Options) (Result
 		return Result{}, nil, err
 	}
 	po := core.PlanOptions{ChunkBytes: chunkFor(bytes, opts.ChunkBytes), DataMode: opts.DataMode, NoStreamReuse: true}
-	if opts.DataMode {
-		// Hybrid plans execute inside BuildHybridBroadcast and, in data
-		// mode, move real floats through shared fabric buffers.
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-	}
-	h, err := core.BuildHybridBroadcast(e.nvlFabric, pn, e.pcieFabric, pp, bytes, po)
+	// Hybrid plans execute inside BuildHybridBroadcast; in data mode they
+	// move real floats through the caller's per-call arena.
+	h, err := core.BuildHybridBroadcast(e.nvlFabric, pn, e.pcieFabric, pp, bytes, po, opts.Buffers)
 	if err != nil {
 		return Result{}, nil, err
 	}

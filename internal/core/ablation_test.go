@@ -82,6 +82,7 @@ func TestAllReduceRandomTopologyProperty(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		f := simgpu.NewFabric(topo, g, simgpu.Config{DataMode: true})
+		bufs := simgpu.NewBufferSet()
 		floats := 64 + rng.Intn(2048)
 		want := make([]float32, floats)
 		for v := 0; v < n; v++ {
@@ -89,7 +90,7 @@ func TestAllReduceRandomTopologyProperty(t *testing.T) {
 			for i := range in {
 				in[i] = float32(rng.Intn(16))
 			}
-			f.SetBuffer(v, BufData, in)
+			bufs.SetBuffer(v, BufData, in)
 			for i := range want {
 				want[i] += in[i]
 			}
@@ -99,11 +100,11 @@ func TestAllReduceRandomTopologyProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if _, err := plan.Execute(); err != nil {
+		if _, err := plan.ExecuteData(bufs); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for v := 0; v < n; v++ {
-			got := f.Buffer(v, BufAcc, floats)
+			got := bufs.Buffer(v, BufAcc, floats)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("trial %d: device %d float %d = %v, want %v (n=%d chunk=%d root=%d)",

@@ -120,7 +120,7 @@ func (cs *CompiledSchedule) Execute() (simgpu.Result, error) {
 			Label:    op.Label,
 		}
 	}
-	return simgpu.Run(links, ops)
+	return simgpu.Run(links, ops, nil)
 }
 
 // ThroughputGBs replays the schedule and reports payload throughput.

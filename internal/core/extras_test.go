@@ -142,7 +142,7 @@ func TestBuildHybridBroadcast(t *testing.T) {
 	fn := simgpu.NewFabric(ind, gn, cfg)
 	fp := simgpu.NewFabric(ind, gp, cfg)
 
-	res, err := BuildHybridBroadcast(fn, pn, fp, pp, 500<<20, PlanOptions{})
+	res, err := BuildHybridBroadcast(fn, pn, fp, pp, 500<<20, PlanOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

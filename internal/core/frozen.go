@@ -9,12 +9,13 @@ import (
 // expensive TreeGen -> minimize -> CodeGen pipeline (run once per unique
 // schedule) from execution (run every training iteration): Replay
 // instantiates fresh simulator ops from the frozen templates, so the shared
-// plan is never mutated and any number of goroutines may replay a
-// timing-only plan concurrently over the same fabric.
+// plan is never mutated and any number of goroutines may replay the same
+// plan concurrently over the same fabric.
 //
-// Plans whose ops carry Exec closures (data mode) mutate fabric buffers
-// when replayed; callers must serialize those replays per fabric (see
-// HasExec).
+// Data-mode plans are templates too: their Exec closures resolve every
+// buffer through the simgpu.BufferSet a caller passes to ReplayData, so
+// concurrent data-mode replays are safe as long as each call supplies its
+// own arena. Nothing about execution is shared between calls.
 type FrozenPlan struct {
 	ops        []simgpu.Op // value templates; Deps/Links slices shared read-only
 	totalBytes int64
@@ -42,16 +43,23 @@ func (p *Plan) Freeze() *FrozenPlan {
 	return fp
 }
 
-// Replay executes the schedule on its fabric. Each call materializes fresh
-// ops from the templates, so concurrent replays of the same FrozenPlan are
-// safe as long as the plan carries no Exec closures.
-func (fp *FrozenPlan) Replay() (simgpu.Result, error) {
+// Replay executes the schedule on its fabric for timing. Each call
+// materializes fresh ops from the templates, so concurrent replays of the
+// same FrozenPlan are always safe. Exec closures, if present, run against a
+// throwaway arena; use ReplayData to move data a caller can observe.
+func (fp *FrozenPlan) Replay() (simgpu.Result, error) { return fp.ReplayData(nil) }
+
+// ReplayData executes the schedule against ctx, the call's private buffer
+// arena: Exec closures read their inputs from and leave their results in
+// ctx, so any number of goroutines may replay one frozen plan concurrently,
+// each with its own arena.
+func (fp *FrozenPlan) ReplayData(ctx *simgpu.BufferSet) (simgpu.Result, error) {
 	ops := make([]*simgpu.Op, len(fp.ops))
 	for i := range fp.ops {
 		op := fp.ops[i]
 		ops[i] = &op
 	}
-	return fp.fabric.Run(ops)
+	return fp.fabric.Run(ops, ctx)
 }
 
 // TotalBytes is the collective payload the schedule moves.
@@ -63,8 +71,8 @@ func (fp *FrozenPlan) Streams() int { return fp.streams }
 // NumOps is the schedule's op count.
 func (fp *FrozenPlan) NumOps() int { return len(fp.ops) }
 
-// HasExec reports whether the schedule moves real data (data mode). Such
-// replays mutate fabric buffers and must be serialized per fabric.
+// HasExec reports whether the schedule moves real data (data mode); such
+// plans need a ReplayData arena for their results to be observable.
 func (fp *FrozenPlan) HasExec() bool { return fp.hasExec }
 
 // Fabric returns the fabric the schedule replays over.

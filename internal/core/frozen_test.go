@@ -90,17 +90,18 @@ func TestFrozenDataModeFlag(t *testing.T) {
 		t.Fatal("frozen plan lost its fabric")
 	}
 	n := int(plan.TotalBytes / 4)
+	bufs := simgpu.NewBufferSet()
 	for v := 0; v < 4; v++ {
 		in := make([]float32, n)
 		for i := range in {
 			in[i] = float32(v + 1)
 		}
-		f.SetBuffer(v, BufData, in)
+		bufs.SetBuffer(v, BufData, in)
 	}
-	if _, err := fp.Replay(); err != nil {
+	if _, err := fp.ReplayData(bufs); err != nil {
 		t.Fatal(err)
 	}
-	acc := f.Buffer(0, BufAcc, n)
+	acc := bufs.Buffer(0, BufAcc, n)
 	for i := 0; i < n; i += n / 7 {
 		if acc[i] != 10 {
 			t.Fatalf("acc[%d] = %v, want 10", i, acc[i])

@@ -48,12 +48,18 @@ type HybridResult struct {
 // using probe-measured effective bandwidths (Blink measures Tdpa and rates
 // during its initial calls), executes both plans, and composes the result:
 // the fabrics run concurrently, with the PCIe side paying Tdpa up front.
-func BuildHybridBroadcast(fNVL *simgpu.Fabric, pNVL *Packing, fPCIe *simgpu.Fabric, pPCIe *Packing, bytes int64, opts PlanOptions) (*HybridResult, error) {
+// bufs is the per-call buffer arena data-mode executions move floats
+// through (nil for timing-only runs).
+func BuildHybridBroadcast(fNVL *simgpu.Fabric, pNVL *Packing, fPCIe *simgpu.Fabric, pPCIe *Packing, bytes int64, opts PlanOptions, bufs *simgpu.BufferSet) (*HybridResult, error) {
 	if bytes < 8 {
 		return nil, fmt.Errorf("core: hybrid payload too small")
 	}
+	// Probes are timing-only regardless of the caller's mode: they size the
+	// split, they don't carry payload.
+	probeOpts := opts
+	probeOpts.DataMode = false
 	probe := func(f *simgpu.Fabric, p *Packing) (float64, error) {
-		plan, err := BuildBroadcastPlan(f, p, 64<<20, opts)
+		plan, err := BuildBroadcastPlan(f, p, 64<<20, probeOpts)
 		if err != nil {
 			return 0, err
 		}
@@ -82,7 +88,7 @@ func BuildHybridBroadcast(fNVL *simgpu.Fabric, pNVL *Packing, fPCIe *simgpu.Fabr
 			if err != nil {
 				return nil, err
 			}
-			r, err := plan.Execute()
+			r, err := plan.ExecuteData(bufs)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +99,7 @@ func BuildHybridBroadcast(fNVL *simgpu.Fabric, pNVL *Packing, fPCIe *simgpu.Fabr
 			if err != nil {
 				return nil, err
 			}
-			r, err := plan.Execute()
+			r, err := plan.ExecuteData(bufs)
 			if err != nil {
 				return nil, err
 			}

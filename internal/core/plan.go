@@ -58,8 +58,16 @@ type Plan struct {
 	Streams int
 }
 
-// Execute runs the plan and returns the simulated result.
-func (p *Plan) Execute() (simgpu.Result, error) { return p.Fabric.Run(p.Ops) }
+// Execute runs the plan for timing and returns the simulated result. Any
+// Exec closures run against a throwaway arena; use ExecuteData to move real
+// data a caller can observe.
+func (p *Plan) Execute() (simgpu.Result, error) { return p.Fabric.Run(p.Ops, nil) }
+
+// ExecuteData runs the plan against the given per-call buffer arena: Exec
+// closures read inputs from and leave results in bufs.
+func (p *Plan) ExecuteData(bufs *simgpu.BufferSet) (simgpu.Result, error) {
+	return p.Fabric.Run(p.Ops, bufs)
+}
 
 // ThroughputGBs runs the plan and reports TotalBytes/makespan in GB/s.
 func (p *Plan) ThroughputGBs() (float64, error) {
@@ -192,22 +200,31 @@ type region struct {
 
 // splitRegions divides totalFloats across trees proportionally to weight,
 // starting at base, and computes per-tree chunk counts for the given chunk
-// size.
+// size. Rounding remainder goes to the heaviest tree, so a zero-weight
+// (or lightest) tree is never handed payload its capacity share cannot
+// justify.
 func splitRegions(trees []Tree, base, totalFloats int, chunkBytes int64) []region {
 	regions := make([]region, len(trees))
 	var wsum float64
-	for _, t := range trees {
+	heaviest := 0
+	for i, t := range trees {
 		wsum += t.Weight
+		if t.Weight > trees[heaviest].Weight {
+			heaviest = i
+		}
 	}
 	chunkFloats := int(chunkBytes / 4)
-	off := base
+	assigned := 0
 	for i, t := range trees {
 		n := int(math.Floor(float64(totalFloats) * t.Weight / wsum))
-		if i == len(trees)-1 {
-			n = base + totalFloats - off
-		}
-		regions[i] = region{off: off, n: n}
-		off += n
+		regions[i] = region{n: n}
+		assigned += n
+	}
+	regions[heaviest].n += totalFloats - assigned
+	off := base
+	for i := range regions {
+		regions[i].off = off
+		off += regions[i].n
 	}
 	for i := range regions {
 		if regions[i].n == 0 {
@@ -272,7 +289,7 @@ func (b *planBuilder) add(op *simgpu.Op) int {
 // edges become two chained ops (source up-link, then destination down-link)
 // modeling store-and-forward through the non-blocking switch, so a transfer
 // waiting for a busy receiver never stalls the sender's port.
-func (b *planBuilder) addTransfer(phase, tree, eid, depth int, bytes int64, deps []int, exec func(), label string) int {
+func (b *planBuilder) addTransfer(phase, tree, eid, depth int, bytes int64, deps []int, exec func(*simgpu.BufferSet), label string) int {
 	links := b.f.EdgeLinks(eid)
 	if len(links) == 1 {
 		return b.add(&simgpu.Op{
@@ -304,15 +321,16 @@ func (b *planBuilder) addTransfer(phase, tree, eid, depth int, bytes int64, deps
 }
 
 // copyExec builds an Exec closure copying floats [off,off+n) from srcTag on
-// device src to dstTag on device dst.
-func (b *planBuilder) copyExec(src, dst, srcTag, dstTag, off, n, bufLen int) func() {
+// device src to dstTag on device dst. The closure resolves both buffers
+// through the per-call arena, never through the fabric, so the compiled
+// schedule stays a pure template.
+func (b *planBuilder) copyExec(src, dst, srcTag, dstTag, off, n, bufLen int) func(*simgpu.BufferSet) {
 	if !b.opts.DataMode {
 		return nil
 	}
-	f := b.f
-	return func() {
-		sb := f.Buffer(src, srcTag, bufLen)
-		db := f.Buffer(dst, dstTag, bufLen)
+	return func(bufs *simgpu.BufferSet) {
+		sb := bufs.Buffer(src, srcTag, bufLen)
+		db := bufs.Buffer(dst, dstTag, bufLen)
 		copy(db[off:off+n], sb[off:off+n])
 	}
 }
@@ -320,15 +338,14 @@ func (b *planBuilder) copyExec(src, dst, srcTag, dstTag, off, n, bufLen int) fun
 // shardCopyExec builds an Exec closure copying, for each vertex u in verts,
 // floats [u*perVertex+off, u*perVertex+off+n) of BufData from device src to
 // device dst — the data movement of one Gather/Scatter tree transfer.
-func (b *planBuilder) shardCopyExec(src, dst int, verts []int, perVertex, off, n, bufLen int) func() {
+func (b *planBuilder) shardCopyExec(src, dst int, verts []int, perVertex, off, n, bufLen int) func(*simgpu.BufferSet) {
 	if !b.opts.DataMode {
 		return nil
 	}
-	f := b.f
 	vs := append([]int(nil), verts...)
-	return func() {
-		sb := f.Buffer(src, BufData, bufLen)
-		db := f.Buffer(dst, BufData, bufLen)
+	return func(bufs *simgpu.BufferSet) {
+		sb := bufs.Buffer(src, BufData, bufLen)
+		db := bufs.Buffer(dst, BufData, bufLen)
 		for _, u := range vs {
 			base := u * perVertex
 			copy(db[base+off:base+off+n], sb[base+off:base+off+n])
@@ -337,14 +354,13 @@ func (b *planBuilder) shardCopyExec(src, dst int, verts []int, perVertex, off, n
 }
 
 // addExec builds an Exec closure adding scratch floats into the accumulator.
-func (b *planBuilder) addExec(dev, scratchTag, off, n, bufLen int) func() {
+func (b *planBuilder) addExec(dev, scratchTag, off, n, bufLen int) func(*simgpu.BufferSet) {
 	if !b.opts.DataMode {
 		return nil
 	}
-	f := b.f
-	return func() {
-		acc := f.Buffer(dev, BufAcc, bufLen)
-		sc := f.Buffer(dev, scratchTag, bufLen)
+	return func(bufs *simgpu.BufferSet) {
+		acc := bufs.Buffer(dev, BufAcc, bufLen)
+		sc := bufs.Buffer(dev, scratchTag, bufLen)
 		for i := off; i < off+n; i++ {
 			acc[i] += sc[i]
 		}
@@ -516,18 +532,18 @@ func emitReduce(b *planBuilder, p *Packing, shapes []*treeShape, regions []regio
 				// child).
 				if cs := s.children[v]; len(cs) > 0 {
 					deps := make([]int, 0, len(cs))
-					var execs []func()
+					var execs []func(*simgpu.BufferSet)
 					for _, c := range cs {
 						deps = append(deps, upSend[ti][c])
 						if e := b.addExec(v, BufScratchBase+c, off, n, bufLen); e != nil {
 							execs = append(execs, e)
 						}
 					}
-					var exec func()
+					var exec func(*simgpu.BufferSet)
 					if len(execs) > 0 {
-						exec = func() {
+						exec = func(bufs *simgpu.BufferSet) {
 							for _, e := range execs {
-								e()
+								e(bufs)
 							}
 						}
 					}
@@ -574,16 +590,15 @@ func initAccumulators(b *planBuilder, bufLen int) {
 	if !b.opts.DataMode {
 		return
 	}
-	f := b.f
 	off := b.opts.OffsetFloats
 	for v := 0; v < b.g.N; v++ {
 		v := v
 		b.add(&simgpu.Op{
 			Stream: b.stream(phaseReduce, 0, -1000-v, 0, 0),
 			Link:   -1,
-			Exec: func() {
-				in := f.Buffer(v, BufData, bufLen)
-				acc := f.Buffer(v, BufAcc, bufLen)
+			Exec: func(bufs *simgpu.BufferSet) {
+				in := bufs.Buffer(v, BufData, bufLen)
+				acc := bufs.Buffer(v, BufAcc, bufLen)
 				copy(acc[off:bufLen], in[off:bufLen])
 			},
 			Label: fmt.Sprintf("acc-init @%d", v),
@@ -698,7 +713,7 @@ func BuildGatherPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOptions
 						deps = append(deps, upSend[c])
 					}
 				}
-				var exec func()
+				var exec func(*simgpu.BufferSet)
 				if opts.DataMode {
 					exec = b.shardCopyExec(v, parent, shards, perVertex, soff, nfl, bufLen)
 				}
@@ -779,7 +794,7 @@ func BuildScatterPlan(f *simgpu.Fabric, p *Packing, bytes int64, opts PlanOption
 				if up := sent[e.From]; up >= 0 {
 					deps = append(deps, up)
 				}
-				var exec func()
+				var exec func(*simgpu.BufferSet)
 				if opts.DataMode {
 					exec = b.shardCopyExec(e.From, v, shards, perVertex, soff, nfl, bufLen)
 				}

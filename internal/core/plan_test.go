@@ -49,16 +49,17 @@ func TestBroadcastPlanDataCorrectness(t *testing.T) {
 	for i := range src {
 		src[i] = rng.Float32()
 	}
-	f.SetBuffer(0, BufData, append([]float32(nil), src...))
+	bufs := simgpu.NewBufferSet()
+	bufs.SetBuffer(0, BufData, append([]float32(nil), src...))
 	plan, err := BuildBroadcastPlan(f, p, bytes, PlanOptions{ChunkBytes: 4096, DataMode: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.ExecuteData(bufs); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < f.Graph.N; v++ {
-		got := f.Buffer(v, BufData, n)
+		got := bufs.Buffer(v, BufData, n)
 		for i := range src {
 			if got[i] != src[i] {
 				t.Fatalf("device %d float %d = %v, want %v", v, i, got[i], src[i])
@@ -79,13 +80,14 @@ func TestAllReducePlanDataCorrectness(t *testing.T) {
 		const bytes = 1 << 14
 		n := bytes / 4
 		rng := rand.New(rand.NewSource(int64(len(devs))))
+		bufs := simgpu.NewBufferSet()
 		want := make([]float32, n)
 		for v := 0; v < f.Graph.N; v++ {
 			in := make([]float32, n)
 			for i := range in {
 				in[i] = float32(rng.Intn(100)) // integers: exact float addition
 			}
-			f.SetBuffer(v, BufData, in)
+			bufs.SetBuffer(v, BufData, in)
 			for i := range want {
 				want[i] += in[i]
 			}
@@ -94,11 +96,11 @@ func TestAllReducePlanDataCorrectness(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", devs, err)
 		}
-		if _, err := plan.Execute(); err != nil {
+		if _, err := plan.ExecuteData(bufs); err != nil {
 			t.Fatalf("%v: %v", devs, err)
 		}
 		for v := 0; v < f.Graph.N; v++ {
-			got := f.Buffer(v, BufAcc, n)
+			got := bufs.Buffer(v, BufAcc, n)
 			for i := range want {
 				if math.Abs(float64(got[i]-want[i])) > 1e-3 {
 					t.Fatalf("alloc %v device %d float %d = %v, want %v", devs, v, i, got[i], want[i])
@@ -259,13 +261,14 @@ func TestDGX2AllReduceDataCorrectness(t *testing.T) {
 	const bytes = 16 << 10
 	n := bytes / 4
 	rng := rand.New(rand.NewSource(5))
+	bufs := simgpu.NewBufferSet()
 	want := make([]float32, n)
 	for v := 0; v < lg.N; v++ {
 		in := make([]float32, n)
 		for i := range in {
 			in[i] = float32(rng.Intn(50))
 		}
-		f.SetBuffer(v, BufData, in)
+		bufs.SetBuffer(v, BufData, in)
 		for i := range want {
 			want[i] += in[i]
 		}
@@ -274,15 +277,59 @@ func TestDGX2AllReduceDataCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.ExecuteData(bufs); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < lg.N; v++ {
-		got := f.Buffer(v, BufAcc, n)
+		got := bufs.Buffer(v, BufAcc, n)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("device %d float %d = %v, want %v", v, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+func TestSplitRegionsRemainderToHeaviest(t *testing.T) {
+	// Rounding remainder must land on the heaviest tree, never on whichever
+	// tree happens to be positionally last — a trailing zero-weight tree has
+	// no capacity and must receive no payload.
+	trees := []Tree{{Weight: 3}, {Weight: 1}, {Weight: 0}}
+	const total = 1003 // floors: 752 + 250 + 0, remainder 1
+	regions := splitRegions(trees, 0, total, 4<<20)
+	if regions[2].n != 0 {
+		t.Fatalf("zero-weight trailing tree assigned %d floats", regions[2].n)
+	}
+	if regions[0].n != 753 || regions[1].n != 250 {
+		t.Fatalf("regions = %d/%d/%d, want 753/250/0 (remainder to heaviest)",
+			regions[0].n, regions[1].n, regions[2].n)
+	}
+	// Regions stay contiguous and exactly cover [base, base+total).
+	off, sum := 0, 0
+	for i, r := range regions {
+		if r.off != off {
+			t.Fatalf("region %d offset %d, want %d (non-contiguous)", i, r.off, off)
+		}
+		off += r.n
+		sum += r.n
+	}
+	if sum != total {
+		t.Fatalf("regions cover %d floats, want %d", sum, total)
+	}
+	if regions[2].chunks != 0 {
+		t.Fatalf("empty region has %d chunks", regions[2].chunks)
+	}
+
+	// A non-zero base shifts offsets without changing sizes, and the
+	// heaviest tree need not be first.
+	regions = splitRegions([]Tree{{Weight: 1}, {Weight: 5}, {Weight: 2}}, 64, 100, 1024)
+	// floors of 100*(1/8, 5/8, 2/8) = 12 + 62 + 25 = 99, remainder 1 -> tree 1.
+	if regions[0].n != 12 || regions[1].n != 63 || regions[2].n != 25 {
+		t.Fatalf("weighted regions = %d/%d/%d, want 12/63/25",
+			regions[0].n, regions[1].n, regions[2].n)
+	}
+	if regions[0].off != 64 || regions[1].off != 76 || regions[2].off != 139 {
+		t.Fatalf("offsets = %d/%d/%d, want 64/76/139",
+			regions[0].off, regions[1].off, regions[2].off)
 	}
 }

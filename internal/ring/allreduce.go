@@ -65,9 +65,9 @@ func buildRingAllReduce(f *simgpu.Fabric, lrs []logicalRing, bytes int64, opts O
 				b.add(&simgpu.Op{
 					Stream: b.stream(-1, v, 0, 9),
 					Link:   -1,
-					Exec: func() {
-						in := f.Buffer(v, core.BufData, totalFloats)
-						acc := f.Buffer(v, core.BufAcc, totalFloats)
+					Exec: func(bufs *simgpu.BufferSet) {
+						in := bufs.Buffer(v, core.BufData, totalFloats)
+						acc := bufs.Buffer(v, core.BufAcc, totalFloats)
 						copy(acc, in)
 					},
 					Label: fmt.Sprintf("acc-init @%d", v),
@@ -153,23 +153,23 @@ func emitRingAllReduce(b *builder, f *simgpu.Fabric, lr logicalRing, ri, off, re
 			if reduceDone[dstPos] >= 0 {
 				deps = append(deps, reduceDone[dstPos])
 			}
-			var exec func()
+			var exec func(*simgpu.BufferSet)
 			if b.opts.DataMode {
-				ff, scratch := f, core.BufScratchBase+src
-				exec = func() {
-					sb := ff.Buffer(src, core.BufAcc, bufLen)
-					db := ff.Buffer(dst, scratch, bufLen)
+				scratch := core.BufScratchBase + src
+				exec = func(bufs *simgpu.BufferSet) {
+					sb := bufs.Buffer(src, core.BufAcc, bufLen)
+					db := bufs.Buffer(dst, scratch, bufLen)
 					copy(db[so:so+sn], sb[so:so+sn])
 				}
 			}
 			deliver := b.addHop(ri, pos, 1, lr.hops[pos], int64(sn)*4, deps, exec,
 				fmt.Sprintf("rs r%d s%d %d->%d", ri, s, src, dst))
-			var rexec func()
+			var rexec func(*simgpu.BufferSet)
 			if b.opts.DataMode {
-				ff, scratch := f, core.BufScratchBase+src
-				rexec = func() {
-					acc := ff.Buffer(dst, core.BufAcc, bufLen)
-					sc := ff.Buffer(dst, scratch, bufLen)
+				scratch := core.BufScratchBase + src
+				rexec = func(bufs *simgpu.BufferSet) {
+					acc := bufs.Buffer(dst, core.BufAcc, bufLen)
+					sc := bufs.Buffer(dst, scratch, bufLen)
 					for i := so; i < so+sn; i++ {
 						acc[i] += sc[i]
 					}
@@ -209,12 +209,11 @@ func emitRingAllReduce(b *builder, f *simgpu.Fabric, lr logicalRing, ri, off, re
 			} else if agRecv[pos] >= 0 {
 				deps = append(deps, agRecv[pos])
 			}
-			var exec func()
+			var exec func(*simgpu.BufferSet)
 			if b.opts.DataMode {
-				ff := f
-				exec = func() {
-					sb := ff.Buffer(src, core.BufAcc, bufLen)
-					db := ff.Buffer(dst, core.BufAcc, bufLen)
+				exec = func(bufs *simgpu.BufferSet) {
+					sb := bufs.Buffer(src, core.BufAcc, bufLen)
+					db := bufs.Buffer(dst, core.BufAcc, bufLen)
 					copy(db[so:so+sn], sb[so:so+sn])
 				}
 			}

@@ -135,7 +135,7 @@ func (b *builder) add(op *simgpu.Op) int {
 // addHop emits ops moving bytes across one logical hop (possibly several
 // edges, each possibly a two-leg switch transfer) and returns the delivery
 // op index. exec runs at delivery.
-func (b *builder) addHop(ring, hop, phase int, edges []int, bytes int64, deps []int, exec func(), label string) int {
+func (b *builder) addHop(ring, hop, phase int, edges []int, bytes int64, deps []int, exec func(*simgpu.BufferSet), label string) int {
 	last := -1
 	leg := 0
 	for ei, eid := range edges {
@@ -250,15 +250,14 @@ func buildChainBroadcast(f *simgpu.Fabric, lrs []logicalRing, bytes int64, opts 
 	return &core.Plan{Ops: b.ops, TotalBytes: int64(totalFloats) * 4, Fabric: f, Streams: len(b.streams)}, nil
 }
 
-func copyExec(b *builder, src, dst, srcTag, dstTag, off, n int) func() {
+func copyExec(b *builder, src, dst, srcTag, dstTag, off, n int) func(*simgpu.BufferSet) {
 	if !b.opts.DataMode {
 		return nil
 	}
-	f := b.f
 	end := off + n
-	return func() {
-		sb := f.Buffer(src, srcTag, end)
-		db := f.Buffer(dst, dstTag, end)
+	return func(bufs *simgpu.BufferSet) {
+		sb := bufs.Buffer(src, srcTag, end)
+		db := bufs.Buffer(dst, dstTag, end)
 		copy(db[off:end], sb[off:end])
 	}
 }

@@ -116,16 +116,17 @@ func TestRingBroadcastData(t *testing.T) {
 	for i := range src {
 		src[i] = float32(i)
 	}
-	f.SetBuffer(0, core.BufData, append([]float32(nil), src...))
+	bufs := simgpu.NewBufferSet()
+	bufs.SetBuffer(0, core.BufData, append([]float32(nil), src...))
 	plan, err := BuildBroadcastPlan(f, rings, 0, n*4, Options{ChunkBytes: 1024, DataMode: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.ExecuteData(bufs); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 4; v++ {
-		got := f.Buffer(v, core.BufData, n)
+		got := bufs.Buffer(v, core.BufData, n)
 		for i := range src {
 			if got[i] != src[i] {
 				t.Fatalf("device %d float %d = %v, want %v", v, i, got[i], src[i])
@@ -143,6 +144,7 @@ func TestRingAllReduceData(t *testing.T) {
 			t.Fatalf("no rings for %v", devs)
 		}
 		const n = 2048
+		bufs := simgpu.NewBufferSet()
 		want := make([]float32, n)
 		rng := rand.New(rand.NewSource(9))
 		for v := 0; v < len(devs); v++ {
@@ -150,7 +152,7 @@ func TestRingAllReduceData(t *testing.T) {
 			for i := range in {
 				in[i] = float32(rng.Intn(64))
 			}
-			f.SetBuffer(v, core.BufData, in)
+			bufs.SetBuffer(v, core.BufData, in)
 			for i := range want {
 				want[i] += in[i]
 			}
@@ -159,11 +161,11 @@ func TestRingAllReduceData(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := plan.Execute(); err != nil {
+		if _, err := plan.ExecuteData(bufs); err != nil {
 			t.Fatal(err)
 		}
 		for v := 0; v < len(devs); v++ {
-			got := f.Buffer(v, core.BufAcc, n)
+			got := bufs.Buffer(v, core.BufAcc, n)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("devs %v device %d float %d = %v, want %v", devs, v, i, got[i], want[i])
@@ -200,13 +202,14 @@ func TestPCIeAllReduceData(t *testing.T) {
 	}
 	f := simgpu.NewFabric(ind, ind.PCIeGraph(), simgpu.Config{DataMode: true})
 	const n = 1024
+	bufs := simgpu.NewBufferSet()
 	want := make([]float32, n)
 	for v := 0; v < 3; v++ {
 		in := make([]float32, n)
 		for i := range in {
 			in[i] = float32(v + 1)
 		}
-		f.SetBuffer(v, core.BufData, in)
+		bufs.SetBuffer(v, core.BufData, in)
 		for i := range want {
 			want[i] += in[i]
 		}
@@ -215,11 +218,11 @@ func TestPCIeAllReduceData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.ExecuteData(bufs); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 3; v++ {
-		got := f.Buffer(v, core.BufAcc, n)
+		got := bufs.Buffer(v, core.BufAcc, n)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("device %d float %d = %v, want %v", v, i, got[i], want[i])
@@ -258,13 +261,14 @@ func TestDBTreeAllReduceDGX2(t *testing.T) {
 	lg := topology.DGX2Logical()
 	f := simgpu.NewSwitchFabric(topo, lg, topology.DGX2LinksPerGPU, simgpu.Config{DataMode: true})
 	const n = 4096
+	bufs := simgpu.NewBufferSet()
 	want := make([]float32, n)
 	for v := 0; v < 16; v++ {
 		in := make([]float32, n)
 		for i := range in {
 			in[i] = float32(v)
 		}
-		f.SetBuffer(v, core.BufData, in)
+		bufs.SetBuffer(v, core.BufData, in)
 		for i := range want {
 			want[i] += in[i]
 		}
@@ -273,11 +277,11 @@ func TestDBTreeAllReduceDGX2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(); err != nil {
+	if _, err := plan.ExecuteData(bufs); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 16; v++ {
-		got := f.Buffer(v, core.BufAcc, n)
+		got := bufs.Buffer(v, core.BufAcc, n)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("device %d float %d = %v, want %v", v, i, got[i], want[i])

@@ -1,0 +1,44 @@
+package simgpu
+
+// BufferSet is a per-call buffer arena: the device buffers one collective
+// call moves data through. Compiled schedules are pure templates — their
+// Exec closures resolve buffers through the BufferSet handed to Run — so
+// any number of calls may replay one frozen schedule concurrently, each
+// against its own private arena. A BufferSet is owned by a single call and
+// is not safe for concurrent use; ownership passes to Run for the duration
+// of the replay and back to the caller afterwards.
+//
+// Buffers are keyed by the full (device, tag) pair, so tags of any
+// magnitude (and relay vertices with large IDs) can never alias.
+type BufferSet struct {
+	buffers map[bufKey][]float32
+}
+
+type bufKey struct {
+	v, tag int
+}
+
+// NewBufferSet returns an empty arena.
+func NewBufferSet() *BufferSet {
+	return &BufferSet{buffers: map[bufKey][]float32{}}
+}
+
+// Buffer returns (allocating or growing on demand) device v's buffer under
+// tag, sized to at least n floats. Buffers are keyed by (device, tag) so a
+// collective can address input, output and scratch regions independently.
+func (s *BufferSet) Buffer(v, tag, n int) []float32 {
+	k := bufKey{v, tag}
+	b := s.buffers[k]
+	if len(b) < n {
+		nb := make([]float32, n)
+		copy(nb, b)
+		s.buffers[k] = nb
+		b = nb
+	}
+	return b[:n]
+}
+
+// SetBuffer installs data as device v's buffer under tag.
+func (s *BufferSet) SetBuffer(v, tag int, data []float32) {
+	s.buffers[bufKey{v, tag}] = data
+}

@@ -49,8 +49,11 @@ type Op struct {
 	// Deps lists op indices that must finish before this op starts.
 	Deps []int
 	// Exec, if non-nil, runs when the op is scheduled (all deps complete),
-	// performing the actual data movement.
-	Exec func()
+	// performing the actual data movement against the per-call buffer arena
+	// passed to Run. Closures must resolve every buffer through that arena —
+	// never through captured state — so one schedule can serve any number of
+	// concurrent calls.
+	Exec func(bufs *BufferSet)
 	// Label annotates traces.
 	Label string
 
@@ -112,8 +115,11 @@ func (q *opPQ) Pop() interface{} {
 
 // Run simulates the op set over the link table and returns the makespan.
 // It mutates the ops (recording start/finish) and invokes Exec closures in
-// dependency order. Deterministic: ties break on op index.
-func Run(links []Link, ops []*Op) (Result, error) {
+// dependency order against bufs, the call's private buffer arena. A nil
+// bufs is replaced by a fresh throwaway arena, so timing-only executions of
+// Exec-carrying schedules stay safe (the moved data is simply discarded).
+// Deterministic: ties break on op index.
+func Run(links []Link, ops []*Op, bufs *BufferSet) (Result, error) {
 	n := len(ops)
 	res := Result{Ops: n, BusiestLink: -1}
 	if n == 0 {
@@ -220,7 +226,10 @@ func Run(links []Link, ops []*Op) (Result, error) {
 			linkBusy[l] += wire
 		}
 		if op.Exec != nil {
-			op.Exec()
+			if bufs == nil {
+				bufs = NewBufferSet()
+			}
+			op.Exec(bufs)
 		}
 		done++
 		if op.finish > res.Makespan {

@@ -11,7 +11,7 @@ import (
 func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestRunEmpty(t *testing.T) {
-	res, err := Run(nil, nil)
+	res, err := Run(nil, nil, nil)
 	if err != nil || res.Makespan != 0 {
 		t.Fatalf("empty run: %+v %v", res, err)
 	}
@@ -20,7 +20,7 @@ func TestRunEmpty(t *testing.T) {
 func TestRunSingleOp(t *testing.T) {
 	links := []Link{{BW: 10, Label: "l"}}
 	op := &Op{Stream: 0, Link: 0, Bytes: 100e6, Overhead: 1e-3}
-	res, err := Run(links, []*Op{op})
+	res, err := Run(links, []*Op{op}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRunStreamSerialization(t *testing.T) {
 	// Same stream, different links: must still serialize.
 	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
 	b := &Op{Stream: 0, Link: 1, Bytes: 1e9}
-	res, err := Run(links, []*Op{a, b})
+	res, err := Run(links, []*Op{a, b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestRunLinkContention(t *testing.T) {
 	// Two streams sharing one link serialize; two separate links would not.
 	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
 	b := &Op{Stream: 1, Link: 0, Bytes: 1e9}
-	res, err := Run(links, []*Op{a, b})
+	res, err := Run(links, []*Op{a, b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestRunLinkContention(t *testing.T) {
 	links2 := []Link{{BW: 1}, {BW: 1}}
 	a2 := &Op{Stream: 0, Link: 0, Bytes: 1e9}
 	b2 := &Op{Stream: 1, Link: 1, Bytes: 1e9}
-	res2, err := Run(links2, []*Op{a2, b2})
+	res2, err := Run(links2, []*Op{a2, b2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestRunDependencies(t *testing.T) {
 	links := []Link{{BW: 1}, {BW: 1}}
 	a := &Op{Stream: 0, Link: 0, Bytes: 1e9}
 	b := &Op{Stream: 1, Link: 1, Bytes: 1e9, Deps: []int{0}}
-	res, err := Run(links, []*Op{a, b})
+	res, err := Run(links, []*Op{a, b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestRunPipelining(t *testing.T) {
 	for c := 0; c < chunks; c++ {
 		ops = append(ops, &Op{Stream: 1, Link: 1, Bytes: 1e9, Deps: []int{c}})
 	}
-	res, err := Run(links, ops)
+	res, err := Run(links, ops, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,26 +113,26 @@ func TestRunDeadlockDetection(t *testing.T) {
 	links := []Link{{BW: 1}}
 	a := &Op{Stream: 0, Link: 0, Bytes: 1, Deps: []int{1}}
 	b := &Op{Stream: 1, Link: 0, Bytes: 1, Deps: []int{0}}
-	if _, err := Run(links, []*Op{a, b}); err == nil {
+	if _, err := Run(links, []*Op{a, b}, nil); err == nil {
 		t.Fatal("cyclic deps not detected")
 	}
 	// Stream-order vs dep-order conflict: op later in stream blocks an
 	// earlier one through a dependency.
 	c := &Op{Stream: 0, Link: 0, Bytes: 1, Deps: []int{1}}
 	d := &Op{Stream: 0, Link: 0, Bytes: 1}
-	if _, err := Run(links, []*Op{c, d}); err == nil {
+	if _, err := Run(links, []*Op{c, d}, nil); err == nil {
 		t.Fatal("stream/dep conflict not detected")
 	}
 }
 
 func TestRunInvalidInputs(t *testing.T) {
-	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 5}}); err == nil {
+	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 5}}, nil); err == nil {
 		t.Fatal("unknown link accepted")
 	}
-	if _, err := Run([]Link{{BW: 0}}, []*Op{{Stream: 0, Link: 0}}); err == nil {
+	if _, err := Run([]Link{{BW: 0}}, []*Op{{Stream: 0, Link: 0}}, nil); err == nil {
 		t.Fatal("zero-bandwidth link accepted")
 	}
-	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 0, Deps: []int{7}}}); err == nil {
+	if _, err := Run([]Link{{BW: 1}}, []*Op{{Stream: 0, Link: 0, Deps: []int{7}}}, nil); err == nil {
 		t.Fatal("invalid dep accepted")
 	}
 }
@@ -140,13 +140,31 @@ func TestRunInvalidInputs(t *testing.T) {
 func TestRunExecOrderAndData(t *testing.T) {
 	links := []Link{{BW: 1}}
 	var order []string
-	a := &Op{Stream: 0, Link: 0, Bytes: 1, Exec: func() { order = append(order, "a") }}
-	b := &Op{Stream: 1, Link: 0, Bytes: 1, Deps: []int{0}, Exec: func() { order = append(order, "b") }}
-	if _, err := Run(links, []*Op{a, b}); err != nil {
+	a := &Op{Stream: 0, Link: 0, Bytes: 1, Exec: func(*BufferSet) { order = append(order, "a") }}
+	b := &Op{Stream: 1, Link: 0, Bytes: 1, Deps: []int{0}, Exec: func(*BufferSet) { order = append(order, "b") }}
+	if _, err := Run(links, []*Op{a, b}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
 		t.Fatalf("exec order %v", order)
+	}
+}
+
+func TestRunNilBufsGetsScratchArena(t *testing.T) {
+	// Exec-carrying ops run against a lazily allocated throwaway arena when
+	// the caller passes no BufferSet, so timing-only replays of data plans
+	// never crash.
+	links := []Link{{BW: 1}}
+	var got *BufferSet
+	a := &Op{Stream: 0, Link: 0, Bytes: 1, Exec: func(bufs *BufferSet) {
+		got = bufs
+		bufs.Buffer(0, 0, 8)[3] = 1
+	}}
+	if _, err := Run(links, []*Op{a}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("Exec did not receive an arena")
 	}
 }
 
@@ -156,7 +174,7 @@ func TestRunBusiestLink(t *testing.T) {
 		{Stream: 0, Link: 0, Bytes: 3e9},
 		{Stream: 1, Link: 1, Bytes: 1e9},
 	}
-	res, err := Run(links, ops)
+	res, err := Run(links, ops, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +185,7 @@ func TestRunBusiestLink(t *testing.T) {
 
 func TestRunZeroResourceOp(t *testing.T) {
 	a := &Op{Stream: 0, Link: -1, Overhead: 5e-6}
-	res, err := Run(nil, []*Op{a})
+	res, err := Run(nil, []*Op{a}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,24 +237,39 @@ func TestNewFabricLinks(t *testing.T) {
 	}
 }
 
-func TestFabricBuffers(t *testing.T) {
-	topo := topology.DGX1V()
-	f := NewFabric(topo, topo.GPUGraph(), Config{DataMode: true})
-	b := f.Buffer(0, 1, 4)
+func TestBufferSet(t *testing.T) {
+	s := NewBufferSet()
+	b := s.Buffer(0, 1, 4)
 	if len(b) != 4 {
 		t.Fatalf("buffer len %d", len(b))
 	}
 	b[2] = 7
-	if f.Buffer(0, 1, 4)[2] != 7 {
+	if s.Buffer(0, 1, 4)[2] != 7 {
 		t.Fatal("buffer not persistent")
 	}
-	big := f.Buffer(0, 1, 8)
+	big := s.Buffer(0, 1, 8)
 	if big[2] != 7 {
 		t.Fatal("grow lost data")
 	}
-	f.SetBuffer(1, 0, []float32{1, 2, 3})
-	if got := f.Buffer(1, 0, 3); got[1] != 2 {
+	s.SetBuffer(1, 0, []float32{1, 2, 3})
+	if got := s.Buffer(1, 0, 3); got[1] != 2 {
 		t.Fatal("SetBuffer not visible")
+	}
+}
+
+func TestBufferSetNoKeyAliasing(t *testing.T) {
+	// The legacy fabric map keyed buffers by v*1024+tag, so (v, tag) pairs
+	// like (0, 1024) and (1, 0) collided. The struct-keyed BufferSet must
+	// keep every combination distinct, including huge tags and vertex IDs.
+	s := NewBufferSet()
+	cases := [][2]int{{0, 1024}, {1, 0}, {2, 2048}, {4, 0}, {0, 5000}, {3, 3000}, {1000, 7}}
+	for i, c := range cases {
+		s.Buffer(c[0], c[1], 4)[0] = float32(i + 1)
+	}
+	for i, c := range cases {
+		if got := s.Buffer(c[0], c[1], 4)[0]; got != float32(i+1) {
+			t.Fatalf("buffer (%d,%d) = %v, want %d: keys alias", c[0], c[1], got, i+1)
+		}
 	}
 }
 

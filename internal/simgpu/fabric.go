@@ -2,7 +2,6 @@ package simgpu
 
 import (
 	"fmt"
-	"sync"
 
 	"blink/internal/graph"
 	"blink/internal/topology"
@@ -99,14 +98,6 @@ type Fabric struct {
 	// up-link and the destination's down-link.
 	edgeLinks  [][]int
 	reduceBase int
-
-	// bufMu guards the buffer map so timing-only runs may proceed
-	// concurrently with buffer installation. It does not make concurrent
-	// data-mode runs safe: two plans mutating the same device buffers still
-	// race on contents, so the collective layer serializes Exec-carrying
-	// replays per fabric.
-	bufMu   sync.Mutex
-	buffers map[int][]float32
 }
 
 // NewFabric builds a fabric over one point-to-point interconnect plane of
@@ -114,7 +105,7 @@ type Fabric struct {
 // vertex.
 func NewFabric(t *topology.Topology, g *graph.Graph, cfg Config) *Fabric {
 	cfg.setDefaults()
-	f := &Fabric{Topo: t, Cfg: cfg, Graph: g, buffers: map[int][]float32{}}
+	f := &Fabric{Topo: t, Cfg: cfg, Graph: g}
 	f.edgeLinks = make([][]int, len(g.Edges))
 	for _, e := range g.Edges {
 		bw := e.Cap * t.LinkBandwidthGBs(e.Type) * cfg.CopyEff
@@ -136,7 +127,7 @@ func NewFabric(t *topology.Topology, g *graph.Graph, cfg Config) *Fabric {
 // contend exactly as they do through a non-blocking NVSwitch.
 func NewSwitchFabric(t *topology.Topology, lg *graph.Graph, attachUnits float64, cfg Config) *Fabric {
 	cfg.setDefaults()
-	f := &Fabric{Topo: t, Cfg: cfg, Graph: lg, buffers: map[int][]float32{}}
+	f := &Fabric{Topo: t, Cfg: cfg, Graph: lg}
 	bw := attachUnits * t.LinkBandwidthGBs(graph.NVSwitch) * cfg.CopyEff
 	up := make([]int, lg.N)
 	down := make([]int, lg.N)
@@ -163,39 +154,7 @@ func (f *Fabric) EdgeLinks(edgeID int) []int { return f.edgeLinks[edgeID] }
 // ReduceLink returns the compute-link index for device (vertex) v.
 func (f *Fabric) ReduceLink(v int) int { return f.reduceBase + v }
 
-// Buffer returns (allocating on demand) device v's named buffer of n floats.
-// Buffers are keyed by (device, tag) so a collective can address input,
-// output and scratch regions independently.
-func (f *Fabric) Buffer(v, tag, n int) []float32 {
-	f.bufMu.Lock()
-	defer f.bufMu.Unlock()
-	key := v*1024 + tag
-	b := f.buffers[key]
-	if len(b) < n {
-		nb := make([]float32, n)
-		copy(nb, b)
-		f.buffers[key] = nb
-		b = nb
-	}
-	return b[:n]
-}
-
-// SetBuffer installs data as device v's buffer under tag.
-func (f *Fabric) SetBuffer(v, tag int, data []float32) {
-	f.bufMu.Lock()
-	defer f.bufMu.Unlock()
-	f.buffers[v*1024+tag] = data
-}
-
-// ResetBuffers drops every device buffer, returning the fabric to its
-// just-built state. Cached schedules replayed in data mode reuse one fabric
-// across iterations; resetting between replays guarantees no stale payload
-// from a previous (possibly larger) collective leaks into the next result.
-func (f *Fabric) ResetBuffers() {
-	f.bufMu.Lock()
-	defer f.bufMu.Unlock()
-	f.buffers = map[int][]float32{}
-}
-
-// Run executes ops over the fabric's links.
-func (f *Fabric) Run(ops []*Op) (Result, error) { return Run(f.Links, ops) }
+// Run executes ops over the fabric's links. bufs is the per-call buffer
+// arena Exec closures resolve against; it may be nil for timing-only op
+// sets (see Run).
+func (f *Fabric) Run(ops []*Op, bufs *BufferSet) (Result, error) { return Run(f.Links, ops, bufs) }

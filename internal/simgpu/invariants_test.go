@@ -38,7 +38,7 @@ func TestEngineInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 200; trial++ {
 		links, ops := randomDAG(rng, 1+rng.Intn(5), 1+rng.Intn(60))
-		res, err := Run(links, ops)
+		res, err := Run(links, ops, nil)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -115,11 +115,11 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 	a := clone()
 	b := clone()
-	ra, err := Run(links, a)
+	ra, err := Run(links, a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Run(links, b)
+	rb, err := Run(links, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +141,11 @@ func TestEngineRerunnable(t *testing.T) {
 		{Stream: 0, Link: 0, Bytes: 1e9},
 		{Stream: 1, Link: 0, Bytes: 1e9, Deps: []int{0}},
 	}
-	r1, err := Run(links, ops)
+	r1, err := Run(links, ops, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(links, ops)
+	r2, err := Run(links, ops, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

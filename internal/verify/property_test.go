@@ -60,7 +60,7 @@ func TestPropertyRandomTopologies(t *testing.T) {
 		floats := 32 + rng.Intn(2048)
 		chunk := int64(4 * (1 + rng.Intn(256)))
 		ranks := eng.Topo.NumGPUs
-		f := eng.FabricFor(collective.Blink)
+		bufs := simgpu.NewBufferSet()
 		want := make([]float32, floats)
 		for v := 0; v < ranks; v++ {
 			in := make([]float32, floats)
@@ -68,14 +68,14 @@ func TestPropertyRandomTopologies(t *testing.T) {
 				in[i] = float32(rng.Intn(64))
 				want[i] += in[i]
 			}
-			f.SetBuffer(v, core.BufData, in)
+			bufs.SetBuffer(v, core.BufData, in)
 		}
 		if _, err := eng.Run(collective.Blink, collective.AllReduce, 0, int64(floats)*4,
-			collective.Options{ChunkBytes: chunk, DataMode: true}); err != nil {
+			collective.Options{ChunkBytes: chunk, DataMode: true, Buffers: bufs}); err != nil {
 			t.Fatalf("case %d (%q devs %v): allreduce: %v", ci, spec, devs, err)
 		}
 		for v := 0; v < ranks; v++ {
-			got := f.Buffer(v, core.BufAcc, floats)
+			got := bufs.Buffer(v, core.BufAcc, floats)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("case %d (%q devs %v chunk %d): rank %d float %d = %v, want %v",

@@ -129,6 +129,7 @@ func runCase(machine *topology.Topology, devs []int, backend collective.Backend,
 	f := eng.FabricFor(backend)
 	n := f.Graph.N // includes relay vertices on PCIe plane
 	ranks := eng.Topo.NumGPUs
+	bufs := simgpu.NewBufferSet()
 
 	switch op {
 	case collective.Broadcast:
@@ -136,13 +137,13 @@ func runCase(machine *topology.Topology, devs []int, backend collective.Backend,
 		for i := range src {
 			src[i] = rng.Float32()
 		}
-		f.SetBuffer(0, core.BufData, append([]float32(nil), src...))
-		if _, err := eng.Run(backend, op, 0, int64(floats)*4, collective.Options{ChunkBytes: chunk, DataMode: true}); err != nil {
+		bufs.SetBuffer(0, core.BufData, append([]float32(nil), src...))
+		if _, err := eng.Run(backend, op, 0, int64(floats)*4, collective.Options{ChunkBytes: chunk, DataMode: true, Buffers: bufs}); err != nil {
 			res.Detail = err.Error()
 			return res
 		}
 		for v := 0; v < ranks; v++ {
-			got := f.Buffer(v, core.BufData, floats)
+			got := bufs.Buffer(v, core.BufData, floats)
 			for i := range src {
 				if got[i] != src[i] {
 					res.Detail = fmt.Sprintf("broadcast: rank %d float %d = %v, want %v (devs %v backend %v)",
@@ -158,17 +159,17 @@ func runCase(machine *topology.Topology, devs []int, backend collective.Backend,
 			for i := range in {
 				in[i] = float32(rng.Intn(64))
 			}
-			f.SetBuffer(v, core.BufData, in)
+			bufs.SetBuffer(v, core.BufData, in)
 			for i := range want {
 				want[i] += in[i]
 			}
 		}
-		if _, err := eng.Run(backend, op, 0, int64(floats)*4, collective.Options{ChunkBytes: chunk, DataMode: true}); err != nil {
+		if _, err := eng.Run(backend, op, 0, int64(floats)*4, collective.Options{ChunkBytes: chunk, DataMode: true, Buffers: bufs}); err != nil {
 			res.Detail = err.Error()
 			return res
 		}
 		for v := 0; v < ranks; v++ {
-			got := f.Buffer(v, core.BufAcc, floats)
+			got := bufs.Buffer(v, core.BufAcc, floats)
 			for i := range want {
 				if got[i] != want[i] {
 					res.Detail = fmt.Sprintf("allreduce: rank %d float %d = %v, want %v (devs %v backend %v chunk %d)",
