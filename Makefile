@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench plancache cluster dataconc ci
+.PHONY: all build test race vet fmt-check bench verify plancache cluster dataconc resilience resilience-smoke ci
 
 all: build test
 
@@ -28,6 +28,12 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
+# Randomized differential verification (data-mode collectives against their
+# mathematical postconditions); exits non-zero on any failing case, so it
+# gates CI merges.
+verify:
+	$(GO) run ./cmd/blinkverify -cases 25
+
 plancache:
 	$(GO) run ./cmd/blinkbench -plancache -o BENCH_planCache.json
 
@@ -37,4 +43,13 @@ cluster:
 dataconc:
 	$(GO) run ./cmd/blinkbench -dataconc -o BENCH_dataConcurrency.json
 
-ci: fmt-check vet build test race bench
+resilience:
+	$(GO) run ./cmd/blinkbench -resilience -o BENCH_resilience.json
+
+# CI smoke: exercise the full resilience pipeline without rewriting the
+# tracked BENCH_resilience.json (its wall-clock timings are machine- and
+# run-dependent, so regenerating it in ci would dirty every checkout).
+resilience-smoke:
+	$(GO) run ./cmd/blinkbench -resilience -o /dev/null
+
+ci: fmt-check vet build test race verify bench resilience-smoke

@@ -119,8 +119,6 @@ func NewPlanCache(capacity int) *PlanCache { return collective.NewPlanCache(capa
 type Comm struct {
 	eng     *collective.Engine
 	backend Backend
-	devs    []int
-	machine *Machine
 }
 
 // NewComm probes the machine for the allocated device IDs and returns a
@@ -139,17 +137,44 @@ func NewComm(machine *Machine, devs []int, opts ...Option) (*Comm, error) {
 	} else if cfg.cacheCap != nil {
 		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
 	}
-	return &Comm{eng: eng, backend: cfg.backend, devs: append([]int(nil), devs...), machine: machine}, nil
+	return &Comm{eng: eng, backend: cfg.backend}, nil
 }
 
-// Size returns the number of ranks in the communicator.
-func (c *Comm) Size() int { return c.eng.Topo.NumGPUs }
+// Size returns the number of ranks in the communicator. After a
+// reconfiguration that evicted GPUs, Size reflects the surviving ranks.
+func (c *Comm) Size() int { return c.eng.Topo().NumGPUs }
 
 // Devices returns the physical GPU IDs of the allocation.
-func (c *Comm) Devices() []int { return append([]int(nil), c.eng.Topo.DevIDs...) }
+func (c *Comm) Devices() []int { return append([]int(nil), c.eng.Topo().DevIDs...) }
 
 // Backend returns the communicator's scheduling backend.
 func (c *Comm) Backend() Backend { return c.backend }
+
+// Reconfigure re-probes the communicator against a changed machine — the
+// fault-adaptation entry point. Derive the post-fault fabric with the
+// Machine's WithoutLink / WithLinkUnits constructors and pass it here; the
+// allocation's device set is kept (for GPU evictions use
+// ReconfigureExclude, which shrinks it). Collectives issued
+// concurrently with Reconfigure finish on the pre-fault topology; every
+// later collective compiles schedules for the new one. Plans for the dead
+// topology are dropped from the plan cache so they stop pinning LRU slots.
+func (c *Comm) Reconfigure(newMachine *Machine) error {
+	if newMachine == nil {
+		// A nil machine here is almost always a derivation whose error was
+		// ignored; silently re-probing the pre-fault fabric would leave
+		// the job scheduling over the dead link.
+		return fmt.Errorf("blink: nil machine (did the topology derivation fail?)")
+	}
+	return c.eng.Reconfigure(newMachine, nil)
+}
+
+// ReconfigureExclude shrinks the allocation after the scheduler evicts
+// GPUs: the listed physical device IDs leave the communicator and the
+// topology is re-probed over the survivors. At least two devices must
+// remain; on error the communicator is unchanged.
+func (c *Comm) ReconfigureExclude(evicted ...int) error {
+	return c.eng.ReconfigureExclude(evicted)
+}
 
 // run dispatches a collective through the engine.
 func (c *Comm) run(op collective.Op, root int, bytes int64, opts collective.Options) (Result, error) {
@@ -212,10 +237,23 @@ func (c *Comm) HybridBroadcast(root int, bytes int64) (Result, error) {
 	return res, err
 }
 
+// dataSnapshot pins the engine's topology state for one data-mode call, so
+// input validation, buffer staging, the dispatch and the result reads all
+// see the same rank count even if another goroutine Reconfigures the
+// communicator mid-call. It returns the snapshot and its rank count.
+func (c *Comm) dataSnapshot() (collective.Snapshot, int, error) {
+	if err := c.requireData(); err != nil {
+		return collective.Snapshot{}, 0, err
+	}
+	snap := c.eng.Snapshot()
+	return snap, snap.Topo().NumGPUs, nil
+}
+
 // BroadcastData broadcasts root's buffer to every rank and returns each
 // rank's received copy. The communicator must be created WithDataMode.
 func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
-	if err := c.requireData(); err != nil {
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
 		return nil, err
 	}
 	n := len(data)
@@ -224,11 +262,11 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	}
 	bs := simgpu.NewBufferSet()
 	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := c.run(collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	out := make([][]float32, c.Size())
-	for v := 0; v < c.Size(); v++ {
+	out := make([][]float32, ranks)
+	for v := 0; v < ranks; v++ {
 		out[v] = append([]float32(nil), bs.Buffer(v, core.BufData, n)...)
 	}
 	return out, nil
@@ -238,7 +276,11 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 // rank's result. All buffers must share a length. The communicator must be
 // created WithDataMode.
 func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
-	n, err := c.checkShardInputs(inputs)
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	n, err := checkShardInputs(inputs, ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -246,11 +288,11 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	out := make([][]float32, c.Size())
-	for v := 0; v < c.Size(); v++ {
+	out := make([][]float32, ranks)
+	for v := 0; v < ranks; v++ {
 		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, n)...)
 	}
 	return out, nil
@@ -261,21 +303,25 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 // Gather rides Blink's spanning trees; the NCCL baseline has no
 // data-carrying gather schedule, so BackendNCCL is rejected.
 func (c *Comm) GatherData(root int, inputs [][]float32) ([]float32, error) {
-	n, err := c.checkShardInputs(inputs)
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	n, err := checkShardInputs(inputs, ranks)
 	if err != nil {
 		return nil, err
 	}
 	if c.backend != BackendBlink {
 		return nil, fmt.Errorf("blink: data-mode Gather requires BackendBlink")
 	}
-	total := n * c.Size()
+	total := n * ranks
 	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
 		buf := make([]float32, total)
 		copy(buf[v*n:(v+1)*n], in)
 		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := c.run(collective.Gather, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.Gather, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	return append([]float32(nil), bs.Buffer(root, core.BufData, total)...), nil
@@ -284,7 +330,11 @@ func (c *Comm) GatherData(root int, inputs [][]float32) ([]float32, error) {
 // ReduceData sums the per-rank buffers elementwise at rank root (the first
 // half of an AllReduce) and returns root's result.
 func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
-	n, err := c.checkShardInputs(inputs)
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	n, err := checkShardInputs(inputs, ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +342,7 @@ func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	return append([]float32(nil), bs.Buffer(root, core.BufAcc, n)...), nil
@@ -302,23 +352,24 @@ func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
 // shard v to rank v (the inverse of Gather). len(data) must be a multiple
 // of Size(). Like GatherData, it requires BackendBlink.
 func (c *Comm) ScatterData(root int, data []float32) ([][]float32, error) {
-	if err := c.requireData(); err != nil {
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
 		return nil, err
 	}
 	if c.backend != BackendBlink {
 		return nil, fmt.Errorf("blink: data-mode Scatter requires BackendBlink")
 	}
 	total := len(data)
-	if total == 0 || total%c.Size() != 0 {
-		return nil, fmt.Errorf("blink: buffer length %d not a positive multiple of %d ranks", total, c.Size())
+	if total == 0 || total%ranks != 0 {
+		return nil, fmt.Errorf("blink: buffer length %d not a positive multiple of %d ranks", total, ranks)
 	}
-	n := total / c.Size()
+	n := total / ranks
 	bs := simgpu.NewBufferSet()
 	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := c.run(collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	out := make([][]float32, c.Size())
+	out := make([][]float32, ranks)
 	for v := range out {
 		out[v] = append([]float32(nil), bs.Buffer(v, core.BufData, total)[v*n:(v+1)*n]...)
 	}
@@ -330,21 +381,25 @@ func (c *Comm) ScatterData(root int, data []float32) ([][]float32, error) {
 // buffer that is zero outside each rank's own shard concatenates exactly),
 // the same identification the paper makes for timing.
 func (c *Comm) AllGatherData(inputs [][]float32) ([][]float32, error) {
-	n, err := c.checkShardInputs(inputs)
+	snap, ranks, err := c.dataSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	total := n * c.Size()
+	n, err := checkShardInputs(inputs, ranks)
+	if err != nil {
+		return nil, err
+	}
+	total := n * ranks
 	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
 		buf := make([]float32, total)
 		copy(buf[v*n:(v+1)*n], in)
 		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := c.run(collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	out := make([][]float32, c.Size())
+	out := make([][]float32, ranks)
 	for v := range out {
 		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, total)...)
 	}
@@ -356,22 +411,26 @@ func (c *Comm) AllGatherData(inputs [][]float32) ([][]float32, error) {
 // The data movement is the AllReduce schedule; each rank keeps only its
 // shard of the reduction.
 func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
-	n, err := c.checkShardInputs(inputs)
+	snap, ranks, err := c.dataSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	if n%c.Size() != 0 {
-		return nil, fmt.Errorf("blink: buffer length %d not a multiple of %d ranks", n, c.Size())
+	n, err := checkShardInputs(inputs, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if n%ranks != 0 {
+		return nil, fmt.Errorf("blink: buffer length %d not a multiple of %d ranks", n, ranks)
 	}
 	bs := simgpu.NewBufferSet()
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := c.run(collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := snap.Run(c.backend, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
-	shard := n / c.Size()
-	out := make([][]float32, c.Size())
+	shard := n / ranks
+	out := make([][]float32, ranks)
 	for v := range out {
 		out[v] = append([]float32(nil), bs.Buffer(v, core.BufAcc, n)[v*shard:(v+1)*shard]...)
 	}
@@ -379,14 +438,11 @@ func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
 }
 
 // checkShardInputs validates a per-rank input set for the data-mode
-// collectives: data mode enabled, one equal-length non-empty buffer per
-// rank. It returns the shared buffer length.
-func (c *Comm) checkShardInputs(inputs [][]float32) (int, error) {
-	if err := c.requireData(); err != nil {
-		return 0, err
-	}
-	if len(inputs) != c.Size() {
-		return 0, fmt.Errorf("blink: %d inputs for %d ranks", len(inputs), c.Size())
+// collectives: one equal-length non-empty buffer per rank. It returns the
+// shared buffer length.
+func checkShardInputs(inputs [][]float32, ranks int) (int, error) {
+	if len(inputs) != ranks {
+		return 0, fmt.Errorf("blink: %d inputs for %d ranks", len(inputs), ranks)
 	}
 	n := len(inputs[0])
 	if n == 0 {
@@ -507,6 +563,16 @@ func (c *ClusterComm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 func (c *ClusterComm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	outs, _, err := c.eng.BroadcastData(c.backend, root, data, collective.Options{})
 	return outs, err
+}
+
+// ReconfigureWithoutServer shrinks the communicator after losing a whole
+// server (index into the current server order): the survivors keep their
+// server-major rank order and every later collective compiles three-phase
+// (or flat-ring) schedules for the shrunken NIC fabric. At least two
+// servers must remain; on error the communicator is unchanged. Collectives
+// issued concurrently finish on the pre-loss cluster.
+func (c *ClusterComm) ReconfigureWithoutServer(server int) error {
+	return c.eng.RemoveServer(server)
 }
 
 // CacheStats snapshots the communicator's plan-cache counters.

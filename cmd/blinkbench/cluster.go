@@ -157,7 +157,8 @@ func runClusterBench(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	wallClock := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	base := time.Now()
+	wallClock := func() float64 { return time.Since(base).Seconds() }
 	const iters = 5
 	for _, m := range []*dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
 		outs, err := dnn.SimulateScenarioTraining(scs, machine, 100, m, 25<<20, iters, wallClock)

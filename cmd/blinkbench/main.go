@@ -9,6 +9,7 @@
 //	blinkbench -plancache -o BENCH_planCache.json  # cold vs warm plan latency
 //	blinkbench -cluster -o BENCH_cluster.json      # three-phase vs flat ring
 //	blinkbench -dataconc -o BENCH_dataConcurrency.json  # data-mode caller scaling
+//	blinkbench -resilience -o BENCH_resilience.json  # training across mid-run faults
 package main
 
 import (
@@ -25,7 +26,8 @@ func main() {
 	plancache := flag.Bool("plancache", false, "benchmark cold vs warm plan dispatch and emit JSON")
 	clusterBench := flag.Bool("cluster", false, "benchmark multi-server three-phase vs flat-ring collectives and emit JSON")
 	dataconc := flag.Bool("dataconc", false, "benchmark data-mode throughput vs concurrent caller count and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc ('-' = stdout)")
+	resilience := flag.Bool("resilience", false, "benchmark training runs surviving mid-run topology faults and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -38,6 +40,10 @@ func main() {
 	}
 	if *dataconc {
 		dataConcMain(*out)
+		return
+	}
+	if *resilience {
+		resilienceMain(*out)
 		return
 	}
 

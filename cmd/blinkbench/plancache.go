@@ -126,7 +126,8 @@ func runPlanCacheBench(out io.Writer) error {
 	}
 	const bucketBytes = 25 << 20
 	const iters = 10
-	wallClock := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	base := time.Now()
+	wallClock := func() float64 { return time.Since(base).Seconds() }
 	for _, b := range backends {
 		for _, m := range []*dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
 			eng, err := collective.NewEngine(machine, devs, simgpu.Config{})

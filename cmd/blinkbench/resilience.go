@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"blink/internal/cluster"
+	"blink/internal/collective"
+	"blink/internal/dnn"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// resilienceTrajPoint is one iteration of a fault-injected training run.
+type resilienceTrajPoint struct {
+	Iter          int     `json:"iter"`
+	Fault         string  `json:"fault,omitempty"`
+	StepMillis    float64 `json:"stepMillis"`
+	ThroughputGBs float64 `json:"throughputGBs"`
+	WallMillis    float64 `json:"wallMillis"`
+	GPUs          int     `json:"gpus"`
+}
+
+// resilienceCase is one (scenario, backend) fault-injected training run.
+type resilienceCase struct {
+	Scenario   string `json:"scenario"`
+	Allocation string `json:"allocation"`
+	Backend    string `json:"backend"`
+	Model      string `json:"model"`
+	Iterations int    `json:"iterations"`
+	// PreFaultGBs / PostFaultGBs are the steady-state step throughputs
+	// before the first fault and after the last replan;
+	// PostOverPre is their ratio (1.0 = fully recovered).
+	PreFaultGBs  float64 `json:"preFaultGBs"`
+	PostFaultGBs float64 `json:"postFaultGBs"`
+	PostOverPre  float64 `json:"postOverPre"`
+	// ReplanColdMillis is the dispatch wall time of the first post-fault
+	// step (reconfigure + cold compile of every bucket schedule);
+	// PostWarmMillis the mean dispatch wall of the steps after it.
+	// ReplanAmortization is their ratio: how much the one-time replan cost
+	// exceeds a steady post-fault step.
+	ReplanColdMillis   float64               `json:"replanColdMillis"`
+	PostWarmMillis     float64               `json:"postWarmMillis"`
+	ReplanAmortization float64               `json:"replanAmortization"`
+	CacheHits          uint64                `json:"cacheHits"`
+	CacheMisses        uint64                `json:"cacheMisses"`
+	Trajectory         []resilienceTrajPoint `json:"trajectory"`
+}
+
+// resilienceReport is the schema of BENCH_resilience.json.
+type resilienceReport struct {
+	Methodology string           `json:"methodology"`
+	Machine     string           `json:"machine"`
+	Model       string           `json:"model"`
+	GoVersion   string           `json:"goVersion"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Cases       []resilienceCase `json:"cases"`
+}
+
+const resilienceMethodology = "Each case drives a bucketed data-parallel " +
+	"training run (dnn gradient buckets, grouped AllReduce) over a DGX-1V " +
+	"allocation while a scripted fault strikes mid-run: a link fails " +
+	"outright, degrades to one lane, flaps down and heals, a GPU is " +
+	"evicted, or (cluster cases) a whole server drops out. At the fault " +
+	"iteration the communicator Reconfigures onto the derived topology — " +
+	"Blink re-packs spanning trees on whatever fabric survives, NCCL's " +
+	"rings break and fall back to PCIe — and that step's dispatch wall " +
+	"time is the replan (cold compile) cost; later steps replay the new " +
+	"frozen plans (postWarmMillis). preFaultGBs/postFaultGBs compare the " +
+	"steady-state simulated step throughput on either side of the fault."
+
+// runResilienceBench measures training runs surviving mid-run topology
+// faults and writes the JSON report to out.
+func runResilienceBench(out io.Writer) error {
+	machine := topology.DGX1V()
+	model := dnn.ResNet50()
+	const (
+		bucketBytes = int64(25 << 20)
+		iters       = 8
+		faultAt     = 3
+	)
+	fullAlloc := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	// Monotonic and full-precision: a float64 of UnixNano would quantize
+	// to ~0.5us at the current epoch and break under wall-clock steps.
+	base := time.Now()
+	wallClock := func() float64 { return time.Since(base).Seconds() }
+
+	rep := resilienceReport{
+		Methodology: resilienceMethodology,
+		Machine:     machine.Name,
+		Model:       model.Name,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+
+	type machineCase struct {
+		scenario string
+		devs     []int
+		sched    cluster.FaultSchedule
+	}
+	cases := []machineCase{
+		// Degraded-but-connected: losing 0-3 leaves the 8-GPU NVLink graph
+		// connected, so Blink re-packs trees on the survivor fabric.
+		{"link-loss", fullAlloc, cluster.LinkLoss(0, 3, faultAt)},
+		// One lane of the doubled 0-3 pair fails.
+		{"link-degrade", fullAlloc, cluster.LinkDegrade(0, 3, 1, faultAt)},
+		// Flap: down at 3, healed at 6 — two replans, and the healed fabric
+		// recovers the pristine throughput exactly.
+		{"link-flap", fullAlloc, cluster.LinkFlap(0, 3, faultAt, 6)},
+		// The scheduler evicts GPU 7 mid-job.
+		{"gpu-eviction", fullAlloc, cluster.Eviction(7, faultAt)},
+	}
+	// Seeded random single-fault schedules widen coverage beyond the
+	// scripted cases: random links fail, degrade or flap and random GPUs
+	// get evicted at random iterations, deterministically per seed.
+	randScheds, err := cluster.RandomFaultSchedules(machine, fullAlloc, iters, 3, 2026)
+	if err != nil {
+		return err
+	}
+	for _, rs := range randScheds {
+		cases = append(cases, machineCase{"random:" + rs.Name, fullAlloc, rs})
+	}
+
+	for _, mc := range cases {
+		for _, backend := range []collective.Backend{collective.Blink, collective.NCCL} {
+			run, err := dnn.SimulateTrainingRunWithFaults(machine, mc.devs, backend,
+				model, bucketBytes, iters, mc.sched, simgpu.Config{}, wallClock)
+			if err != nil {
+				return err
+			}
+			rep.Cases = append(rep.Cases, toResilienceCase(mc.scenario, allocKey(mc.devs), run))
+		}
+	}
+
+	// Cluster: a 3x8 DGX-1V job loses one server mid-run.
+	sc := cluster.Scenario{Pieces: []int{8, 8, 8}}
+	cl, err := sc.Cluster(machine, 100)
+	if err != nil {
+		return err
+	}
+	for _, backend := range []collective.Backend{collective.Blink, collective.NCCL} {
+		run, err := dnn.SimulateClusterTrainingRunWithFaults(cl, backend,
+			model, bucketBytes, iters, cluster.ServerLoss(2, faultAt), simgpu.Config{}, wallClock)
+		if err != nil {
+			return err
+		}
+		rep.Cases = append(rep.Cases, toResilienceCase("server-loss", sc.Key()+"@100Gbps", run))
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// allocKey renders a device list compactly.
+func allocKey(devs []int) string {
+	out := ""
+	for i, d := range devs {
+		if i > 0 {
+			out += ","
+		}
+		out += strconv.Itoa(d)
+	}
+	return out
+}
+
+// toResilienceCase flattens a fault training run into the report row.
+func toResilienceCase(scenario, alloc string, run dnn.FaultTrainingRun) resilienceCase {
+	rc := resilienceCase{
+		Scenario:         scenario,
+		Allocation:       alloc,
+		Backend:          run.Backend,
+		Model:            run.Model,
+		Iterations:       run.Iterations,
+		PreFaultGBs:      run.PreFaultGBs,
+		PostFaultGBs:     run.PostFaultGBs,
+		ReplanColdMillis: run.ReplanWallSeconds * 1e3,
+		PostWarmMillis:   run.WarmPostWallSeconds * 1e3,
+		CacheHits:        run.CacheHits,
+		CacheMisses:      run.CacheMisses,
+	}
+	if run.PreFaultGBs > 0 {
+		rc.PostOverPre = run.PostFaultGBs / run.PreFaultGBs
+	}
+	if run.WarmPostWallSeconds > 0 {
+		rc.ReplanAmortization = run.ReplanWallSeconds / run.WarmPostWallSeconds
+	}
+	for _, p := range run.Trajectory {
+		rc.Trajectory = append(rc.Trajectory, resilienceTrajPoint{
+			Iter:          p.Iter,
+			Fault:         p.Fault,
+			StepMillis:    p.StepSeconds * 1e3,
+			ThroughputGBs: p.ThroughputGBs,
+			WallMillis:    p.WallSeconds * 1e3,
+			GPUs:          p.GPUs,
+		})
+	}
+	return rc
+}
+
+// resilienceMain handles the -resilience flag: write the report to path
+// (or stdout when path is "-").
+func resilienceMain(path string) {
+	writeReport(path, "resilience", runResilienceBench)
+}

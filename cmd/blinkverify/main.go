@@ -37,6 +37,10 @@ func main() {
 	fmt.Printf("%d passed, %d failed\n", pass, fail)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+	}
+	// Any failed case must fail the run (CI gates on this exit code), not
+	// just a harness-level error.
+	if err != nil || fail > 0 {
 		os.Exit(1)
 	}
 }

@@ -22,7 +22,7 @@ func main() {
 
 	fmt.Println("AllReduce on a 16-GPU DGX-2:")
 	fmt.Printf("%8s %14s %14s %10s %22s\n", "size", "NCCL", "Blink", "latency", "throughput")
-	for sz := int64(1 << 10); sz <= 1<<30; sz *= 8 {
+	for sz := int64(128); sz <= 1<<30; sz *= 8 {
 		n, err := ncclComm.AllReduce(sz)
 		if err != nil {
 			log.Fatal(err)
@@ -45,7 +45,10 @@ func size(b int64) string {
 		return fmt.Sprintf("%dGB", b>>30)
 	case b >= 1<<20:
 		return fmt.Sprintf("%dMB", b>>20)
-	default:
+	case b >= 1<<10:
 		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		// Sub-KiB payloads used to render as "0KB".
+		return fmt.Sprintf("%dB", b)
 	}
 }

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"blink/internal/topology"
+)
+
+func TestFaultScheduleAccessors(t *testing.T) {
+	s := LinkFlap(0, 3, 2, 5)
+	if got := s.FirstIter(); got != 2 {
+		t.Fatalf("FirstIter = %d, want 2", got)
+	}
+	if got := s.LastIter(); got != 5 {
+		t.Fatalf("LastIter = %d, want 5", got)
+	}
+	if got := s.At(2); len(got) != 1 || got[0].Kind != LinkDown {
+		t.Fatalf("At(2) = %v", got)
+	}
+	if got := s.At(5); len(got) != 1 || got[0].Kind != LinkRestored {
+		t.Fatalf("At(5) = %v", got)
+	}
+	if got := s.At(3); len(got) != 0 {
+		t.Fatalf("At(3) = %v, want empty", got)
+	}
+	empty := FaultSchedule{}
+	if empty.FirstIter() != -1 || empty.LastIter() != -1 {
+		t.Fatal("empty schedule must report -1 iterations")
+	}
+	for _, f := range []Fault{
+		{Iter: 1, Kind: LinkDown, A: 0, B: 3},
+		{Iter: 1, Kind: LinkDegraded, A: 0, B: 3, Units: 0.5},
+		{Iter: 1, Kind: LinkRestored, A: 0, B: 3},
+		{Iter: 1, Kind: GPUEvicted, Dev: 7},
+		{Iter: 1, Kind: ServerLost, Server: 2},
+	} {
+		if f.String() == "" || f.Kind.String() == "" {
+			t.Fatalf("fault %+v renders empty", f)
+		}
+	}
+}
+
+func TestRandomFaultSchedulesDeterministic(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	a, err := RandomFaultSchedules(machine, devs, 10, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomFaultSchedules(machine, devs, 10, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce identical schedules")
+	}
+	if len(a) != 8 {
+		t.Fatalf("%d schedules, want 8", len(a))
+	}
+	for _, s := range a {
+		first, last := s.FirstIter(), s.LastIter()
+		if first < 1 || last > 8 {
+			t.Fatalf("schedule %s strikes outside [1,8]", s.Name)
+		}
+		for _, f := range s.Faults {
+			if f.Kind == ServerLost {
+				t.Fatalf("schedule %s drew a cluster-only fault", s.Name)
+			}
+		}
+	}
+	if _, err := RandomFaultSchedules(machine, devs, 2, 1, 7); err == nil {
+		t.Fatal("too few iterations must error")
+	}
+}

@@ -147,6 +147,29 @@ func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
 	}
 }
 
+// InvalidateFingerprint drops every plan compiled for the given topology
+// fingerprint and returns how many were removed. Reconfiguration calls it
+// for the pre-fault fingerprint so schedules for a dead topology stop
+// pinning LRU slots; in a cache shared across engines this also evicts the
+// entries of other engines still on that topology, which costs them a
+// recompile but never correctness.
+func (c *PlanCache) InvalidateFingerprint(fp string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.Fingerprint == fp {
+			c.order.Remove(el)
+			delete(c.entries, ent.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
 // Len returns the number of resident plans.
 func (c *PlanCache) Len() int {
 	c.mu.Lock()

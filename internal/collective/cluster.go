@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"blink/internal/core"
 	"blink/internal/ring"
@@ -21,11 +22,28 @@ import (
 // Like Engine, a ClusterEngine is safe for concurrent use: compiled cluster
 // schedules live in the plan cache as immutable ClusterFrozenPlans, and
 // every data-mode call executes against its own ClusterBuffers context, so
-// any number of data-mode replays may be in flight at once.
+// any number of data-mode replays may be in flight at once. Reconfigure and
+// RemoveServer swap the whole cluster-derived state atomically, so
+// collectives may keep flowing while a server drops out.
 type ClusterEngine struct {
-	Cluster *topology.Cluster
-	Cfg     simgpu.Config
+	Cfg simgpu.Config
 
+	// st is the current cluster-derived state; Load it once per dispatch.
+	st atomic.Pointer[clusterState]
+
+	// reconfigMu serializes reconfigurations (see Engine.reconfigMu).
+	reconfigMu sync.Mutex
+
+	cfgKey simgpu.Config
+	id     uint64
+	cache  *PlanCache
+}
+
+// clusterState is everything a ClusterEngine derives from its cluster
+// topology; the bundle is immutable once published except for the lazily
+// built flat-ring fabric guarded by mu.
+type clusterState struct {
+	cluster *topology.Cluster
 	engines []*Engine
 	netFab  *simgpu.Fabric
 	// rankBase[s] is the global rank of server s's local rank 0
@@ -34,9 +52,6 @@ type ClusterEngine struct {
 	total    int
 
 	fingerprint string
-	cfgKey      simgpu.Config
-	id          uint64
-	cache       *PlanCache
 
 	// mu guards the lazily built flat-ring fabric.
 	mu   sync.Mutex
@@ -54,68 +69,136 @@ type ClusterBuffers struct {
 	Flat    *simgpu.BufferSet
 }
 
-// NewClusterEngine builds the per-server engines and the NIC fabric for a
-// cluster. Servers must be point-to-point machines (DGX-1 class or custom);
-// the paper's multi-server protocol targets NIC-attached DGX-1V boxes.
-func NewClusterEngine(c *topology.Cluster, cfg simgpu.Config) (*ClusterEngine, error) {
+// newClusterState builds the per-server engines and the NIC fabric for a
+// cluster. reuse maps surviving server topologies to their existing
+// engines (nil for a fresh build): a reconfiguration that only removes a
+// server keeps the survivors' engines — and the tree packings they have
+// already generated — instead of re-deriving them.
+func newClusterState(c *topology.Cluster, cfg simgpu.Config, reuse map[*topology.Topology]*Engine) (*clusterState, error) {
 	if len(c.Servers) < 2 {
 		return nil, fmt.Errorf("collective: cluster needs >= 2 servers")
 	}
-	e := &ClusterEngine{
-		Cluster:     c,
-		Cfg:         cfg,
-		cache:       NewPlanCache(DefaultPlanCacheCapacity),
-		id:          engineIDs.Add(1),
-		cfgKey:      cfg.Normalized(),
-		fingerprint: c.Fingerprint(),
-	}
+	st := &clusterState{cluster: c, fingerprint: c.Fingerprint()}
 	for si, s := range c.Servers {
 		if s.Kind == topology.KindDGX2 || s.Kind == topology.KindCluster {
 			return nil, fmt.Errorf("collective: server %d: cluster members must be point-to-point machines", si)
 		}
-		devs := make([]int, s.NumGPUs)
-		for i := range devs {
-			devs[i] = i
+		eng := reuse[s]
+		if eng == nil {
+			var err error
+			eng, err = NewEngine(s, s.DevIDs, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("collective: server %d: %w", si, err)
+			}
 		}
-		eng, err := NewEngine(s, devs, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("collective: server %d: %w", si, err)
-		}
-		e.rankBase = append(e.rankBase, e.total)
-		e.total += s.NumGPUs
-		e.engines = append(e.engines, eng)
+		st.rankBase = append(st.rankBase, st.total)
+		st.total += s.NumGPUs
+		st.engines = append(st.engines, eng)
 	}
-	e.netFab = simgpu.NewFabric(c.Servers[0], c.Net, cfg)
+	st.netFab = simgpu.NewFabric(c.Servers[0], c.Net, cfg)
+	return st, nil
+}
+
+// NewClusterEngine builds the per-server engines and the NIC fabric for a
+// cluster. Servers must be point-to-point machines (DGX-1 class or custom);
+// the paper's multi-server protocol targets NIC-attached DGX-1V boxes.
+func NewClusterEngine(c *topology.Cluster, cfg simgpu.Config) (*ClusterEngine, error) {
+	st, err := newClusterState(c, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	e := &ClusterEngine{
+		Cfg:    cfg,
+		cache:  NewPlanCache(DefaultPlanCacheCapacity),
+		id:     engineIDs.Add(1),
+		cfgKey: cfg.Normalized(),
+	}
+	e.st.Store(st)
 	return e, nil
 }
 
+// Reconfigure swaps the engine onto a new cluster topology (typically one
+// derived from the current one after a fault), preserving the shared plan
+// cache. Dispatches in flight finish against the old state; plans cached
+// under the old cluster fingerprint are dropped so the dead topology stops
+// pinning LRU slots. On error the engine keeps its current state.
+func (e *ClusterEngine) Reconfigure(c *topology.Cluster) error {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	return e.reconfigureLocked(c)
+}
+
+func (e *ClusterEngine) reconfigureLocked(c *topology.Cluster) error {
+	old := e.st.Load()
+	// Servers whose induced topology instance survives the reconfiguration
+	// (e.g. everyone but the lost server) keep their engines and therefore
+	// their already-packed trees; only genuinely new servers re-probe.
+	reuse := make(map[*topology.Topology]*Engine, len(old.engines))
+	for si, eng := range old.engines {
+		reuse[old.cluster.Servers[si]] = eng
+	}
+	st, err := newClusterState(c, e.Cfg, reuse)
+	if err != nil {
+		return err
+	}
+	e.st.Store(st)
+	if st.fingerprint != old.fingerprint {
+		e.cache.InvalidateFingerprint(old.fingerprint)
+	}
+	return nil
+}
+
+// RemoveServer shrinks the communicator after losing server si (indices
+// follow the current server order): the surviving servers keep their ranks
+// (renumbered server-major) and every later collective compiles schedules
+// for the shrunken NIC fabric. At least two servers must survive.
+func (e *ClusterEngine) RemoveServer(si int) error {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	// Deriving the shrunken cluster from the current state happens under
+	// the lock, so two concurrent losses compose instead of one winning.
+	nc, err := e.st.Load().cluster.WithoutServer(si)
+	if err != nil {
+		return err
+	}
+	return e.reconfigureLocked(nc)
+}
+
+// Cluster returns the current cluster topology snapshot.
+func (e *ClusterEngine) Cluster() *topology.Cluster { return e.st.Load().cluster }
+
 // TotalRanks returns the number of GPUs across all servers.
-func (e *ClusterEngine) TotalRanks() int { return e.total }
+func (e *ClusterEngine) TotalRanks() int { return e.st.Load().total }
 
 // ServerSizes returns the per-server GPU counts.
 func (e *ClusterEngine) ServerSizes() []int {
-	out := make([]int, len(e.engines))
-	for i, eng := range e.engines {
-		out[i] = eng.Topo.NumGPUs
+	st := e.st.Load()
+	out := make([]int, len(st.engines))
+	for i, eng := range st.engines {
+		out[i] = eng.Topo().NumGPUs
 	}
 	return out
 }
 
 // Locate maps a global rank (server-major) to its (server, local rank).
 func (e *ClusterEngine) Locate(rank int) (server, local int, err error) {
-	if rank < 0 || rank >= e.total {
-		return 0, 0, fmt.Errorf("collective: rank %d out of range [0,%d)", rank, e.total)
+	return e.st.Load().locate(rank)
+}
+
+func (st *clusterState) locate(rank int) (server, local int, err error) {
+	if rank < 0 || rank >= st.total {
+		return 0, 0, fmt.Errorf("collective: rank %d out of range [0,%d)", rank, st.total)
 	}
-	for si := len(e.rankBase) - 1; si >= 0; si-- {
-		if rank >= e.rankBase[si] {
-			return si, rank - e.rankBase[si], nil
+	for si := len(st.rankBase) - 1; si >= 0; si-- {
+		if rank >= st.rankBase[si] {
+			return si, rank - st.rankBase[si], nil
 		}
 	}
 	return 0, 0, fmt.Errorf("collective: rank %d unmapped", rank)
 }
 
 // Fingerprint returns the cluster's schedule-cache identity.
-func (e *ClusterEngine) Fingerprint() string { return e.fingerprint }
+func (e *ClusterEngine) Fingerprint() string { return e.st.Load().fingerprint }
 
 // SetPlanCache replaces the engine's plan cache, e.g. with one shared with
 // other (cluster or single-machine) communicators; cluster keys carry the
@@ -135,8 +218,15 @@ func (e *ClusterEngine) PlanCacheHandle() *PlanCache { return e.cache }
 func (e *ClusterEngine) CacheStats() CacheStats { return e.cache.Stats() }
 
 // ServerEngine exposes server s's per-machine engine (for introspection:
-// packings, fabrics, fingerprints).
-func (e *ClusterEngine) ServerEngine(s int) *Engine { return e.engines[s] }
+// packings, fabrics, fingerprints). It returns nil for an out-of-range
+// index — e.g. one that went stale when RemoveServer shrank the cluster.
+func (e *ClusterEngine) ServerEngine(s int) *Engine {
+	st := e.st.Load()
+	if s < 0 || s >= len(st.engines) {
+		return nil
+	}
+	return st.engines[s]
+}
 
 // ClusterTiming is the per-phase breakdown of one cluster replay. The flat
 // NCCL ring has no phase structure; only Total is set.
@@ -248,14 +338,17 @@ type ClusterResult struct {
 // compiles the full multi-server pipeline — per-server TreeGen through the
 // NIC exchange — and freezes it into the plan cache; later calls replay.
 func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Options) (ClusterResult, error) {
-	res, _, err := e.runCounted(b, op, root, bytes, opts, nil)
+	res, _, err := e.runCounted(e.st.Load(), b, op, root, bytes, opts, nil)
 	return res, err
 }
 
 // runCounted is Run plus exact cache attribution and an optional per-call
-// data context (nil for timing-only dispatches).
-func (e *ClusterEngine) runCounted(b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers) (ClusterResult, bool, error) {
-	cp, hit, err := e.lookupOrCompile(b, op, root, bytes, opts)
+// data context (nil for timing-only dispatches). The whole dispatch —
+// including the data context the caller prepared — is tied to one state
+// snapshot, so a concurrent Reconfigure never mixes cluster geometries
+// within a call.
+func (e *ClusterEngine) runCounted(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers) (ClusterResult, bool, error) {
+	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
 		return ClusterResult{}, false, err
 	}
@@ -281,8 +374,9 @@ func (e *ClusterEngine) runCounted(b Backend, op Op, root int, bytes int64, opts
 // cache — the grouped entry point a multi-server training step uses for its
 // gradient buckets.
 func (e *ClusterEngine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
+	st := e.st.Load()
 	return runGroup(sizes, func(sz int64) (Result, bool, error) {
-		r, hit, err := e.runCounted(b, op, root, sz, opts, nil)
+		r, hit, err := e.runCounted(st, b, op, root, sz, opts, nil)
 		return r.Result, hit, err
 	})
 }
@@ -290,7 +384,7 @@ func (e *ClusterEngine) RunMany(b Backend, op Op, root int, sizes []int64, opts 
 // lookupOrCompile resolves the cluster plan-cache key, compiling and
 // inserting the frozen schedule on a miss; hit reports whether this call
 // replayed a cached plan.
-func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
+func (e *ClusterEngine) lookupOrCompile(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
 	if bytes < 4 {
 		return nil, false, fmt.Errorf("collective: payload %d too small", bytes)
 	}
@@ -299,7 +393,7 @@ func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64,
 	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
 	key := PlanKey{
-		Fingerprint: e.fingerprint,
+		Fingerprint: st.fingerprint,
 		Config:      e.cfgKey,
 		Backend:     b,
 		Op:          op,
@@ -321,22 +415,28 @@ func (e *ClusterEngine) lookupOrCompile(b Backend, op Op, root int, bytes int64,
 	var strategy string
 	var err error
 	if b == Blink {
-		plan, strategy, err = e.compileThreePhase(op, root, bytes, chunk, opts)
+		plan, strategy, err = compileThreePhase(st, op, root, bytes, chunk, opts)
 	} else {
-		plan, strategy, err = e.compileFlatRing(op, root, bytes, chunk, opts)
+		plan, strategy, err = compileFlatRing(st, op, root, bytes, chunk, opts, e.Cfg)
 	}
 	if err != nil {
 		return nil, false, err
 	}
 	cp := &CachedPlan{ClusterPlan: plan, Strategy: strategy}
 	e.cache.Put(key, cp)
+	// Mirror Engine.lookupOrCompile: a Reconfigure that raced this compile
+	// already invalidated the old fingerprint, so the Put above must not
+	// resurrect a dead cluster's plan.
+	if cur := e.st.Load(); cur != st && cur.fingerprint != st.fingerprint {
+		e.cache.InvalidateFingerprint(st.fingerprint)
+	}
 	return cp, false, nil
 }
 
 // serverFabrics returns each server engine's Blink data plane.
-func (e *ClusterEngine) serverFabrics() []*simgpu.Fabric {
-	fabrics := make([]*simgpu.Fabric, len(e.engines))
-	for si, eng := range e.engines {
+func (st *clusterState) serverFabrics() []*simgpu.Fabric {
+	fabrics := make([]*simgpu.Fabric, len(st.engines))
+	for si, eng := range st.engines {
 		fabrics[si] = eng.FabricFor(Blink)
 	}
 	return fabrics
@@ -344,9 +444,9 @@ func (e *ClusterEngine) serverFabrics() []*simgpu.Fabric {
 
 // compileThreePhase builds and freezes the Blink three-phase schedule,
 // reusing each server engine's cached tree packings.
-func (e *ClusterEngine) compileThreePhase(op Op, root int, bytes int64, chunk int64, opts Options) (*ClusterFrozenPlan, string, error) {
-	fabrics := e.serverFabrics()
-	packFor := func(si, r int) (*core.Packing, error) { return e.engines[si].Packing(r) }
+func compileThreePhase(st *clusterState, op Op, root int, bytes int64, chunk int64, opts Options) (*ClusterFrozenPlan, string, error) {
+	fabrics := st.serverFabrics()
+	packFor := func(si, r int) (*core.Packing, error) { return st.engines[si].Packing(r) }
 	po := core.PlanOptions{ChunkBytes: chunk, DataMode: opts.DataMode, NoStreamReuse: true}
 
 	var tp *core.ThreePhasePlans
@@ -354,14 +454,14 @@ func (e *ClusterEngine) compileThreePhase(op Op, root int, bytes int64, chunk in
 	rootServer := -1
 	switch op {
 	case AllReduce:
-		tp, err = core.BuildThreePhaseAllReduce(e.Cluster, fabrics, e.netFab, packFor, bytes, po)
+		tp, err = core.BuildThreePhaseAllReduce(st.cluster, fabrics, st.netFab, packFor, bytes, po)
 	case Broadcast:
 		var localRoot int
-		rootServer, localRoot, err = e.Locate(root)
+		rootServer, localRoot, err = st.locate(root)
 		if err != nil {
 			return nil, "", err
 		}
-		tp, err = core.BuildThreePhaseBroadcast(e.Cluster, fabrics, e.netFab, packFor, rootServer, localRoot, bytes, po)
+		tp, err = core.BuildThreePhaseBroadcast(st.cluster, fabrics, st.netFab, packFor, rootServer, localRoot, bytes, po)
 	}
 	if err != nil {
 		return nil, "", err
@@ -432,8 +532,8 @@ func broadcastExchange(tp *core.ThreePhasePlans, rootServer, totalFloats int) fu
 
 // compileFlatRing builds and freezes the NCCL cross-machine baseline: one
 // global ring over every GPU, PCIe within servers, NICs between them.
-func (e *ClusterEngine) compileFlatRing(op Op, root int, bytes int64, chunk int64, opts Options) (*ClusterFrozenPlan, string, error) {
-	cf, err := e.flatFabric()
+func compileFlatRing(st *clusterState, op Op, root int, bytes int64, chunk int64, opts Options, cfg simgpu.Config) (*ClusterFrozenPlan, string, error) {
+	cf, err := st.flatFabric(cfg)
 	if err != nil {
 		return nil, "", err
 	}
@@ -455,17 +555,17 @@ func (e *ClusterEngine) compileFlatRing(op Op, root int, bytes int64, chunk int6
 }
 
 // flatFabric lazily assembles the cross-machine ring fabric.
-func (e *ClusterEngine) flatFabric() (*ring.CrossMachineFabric, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.flat == nil {
-		cf, err := ring.NewCrossMachineFabric(e.Cluster, e.Cluster.NICGBs*8, e.Cfg)
+func (st *clusterState) flatFabric(cfg simgpu.Config) (*ring.CrossMachineFabric, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.flat == nil {
+		cf, err := ring.NewCrossMachineFabric(st.cluster, st.cluster.NICGBs*8, cfg)
 		if err != nil {
 			return nil, err
 		}
-		e.flat = cf
+		st.flat = cf
 	}
-	return e.flat, nil
+	return st.flat, nil
 }
 
 // AllReduceData sums the per-rank buffers elementwise across every server
@@ -478,8 +578,9 @@ func (e *ClusterEngine) AllReduceData(b Backend, inputs [][]float32, opts Option
 	if !e.Cfg.DataMode {
 		return nil, ClusterResult{}, fmt.Errorf("collective: cluster engine not in data mode")
 	}
-	if len(inputs) != e.total {
-		return nil, ClusterResult{}, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), e.total)
+	st := e.st.Load()
+	if len(inputs) != st.total {
+		return nil, ClusterResult{}, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), st.total)
 	}
 	n := len(inputs[0])
 	if n == 0 {
@@ -491,7 +592,7 @@ func (e *ClusterEngine) AllReduceData(b Backend, inputs [][]float32, opts Option
 		}
 	}
 	opts.DataMode = true
-	ctx, resolve, err := e.prepareData(b)
+	ctx, resolve, err := st.prepareData(b, e.Cfg)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
@@ -499,11 +600,11 @@ func (e *ClusterEngine) AllReduceData(b Backend, inputs [][]float32, opts Option
 		bs, local := resolve(g)
 		bs.SetBuffer(local, core.BufData, append([]float32(nil), in...))
 	}
-	res, _, err := e.runCounted(b, AllReduce, 0, int64(n)*4, opts, ctx)
+	res, _, err := e.runCounted(st, b, AllReduce, 0, int64(n)*4, opts, ctx)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	return e.readData(resolve, core.BufAcc, n), res, nil
+	return st.readData(resolve, core.BufAcc, n), res, nil
 }
 
 // BroadcastData sends root's buffer (root is a global rank) to every rank
@@ -512,47 +613,50 @@ func (e *ClusterEngine) BroadcastData(b Backend, root int, data []float32, opts 
 	if !e.Cfg.DataMode {
 		return nil, ClusterResult{}, fmt.Errorf("collective: cluster engine not in data mode")
 	}
+	st := e.st.Load()
 	n := len(data)
 	if n == 0 {
 		return nil, ClusterResult{}, fmt.Errorf("collective: empty buffer")
 	}
-	if _, _, err := e.Locate(root); err != nil {
+	if _, _, err := st.locate(root); err != nil {
 		return nil, ClusterResult{}, err
 	}
 	opts.DataMode = true
-	ctx, resolve, err := e.prepareData(b)
+	ctx, resolve, err := st.prepareData(b, e.Cfg)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
 	bs, local := resolve(root)
 	bs.SetBuffer(local, core.BufData, append([]float32(nil), data...))
-	res, _, err := e.runCounted(b, Broadcast, root, int64(n)*4, opts, ctx)
+	res, _, err := e.runCounted(st, b, Broadcast, root, int64(n)*4, opts, ctx)
 	if err != nil {
 		return nil, ClusterResult{}, err
 	}
-	return e.readData(resolve, core.BufData, n), res, nil
+	return st.readData(resolve, core.BufData, n), res, nil
 }
 
 // prepareData builds a fresh per-call buffer context for the backend and
 // returns it with a rank→(arena, local vertex) resolver. The context starts
 // empty — there is no shared state to reset, which is exactly what lets
-// concurrent *Data calls proceed without any serialization.
-func (e *ClusterEngine) prepareData(b Backend) (*ClusterBuffers, func(rank int) (*simgpu.BufferSet, int), error) {
+// concurrent *Data calls proceed without any serialization. The context is
+// tied to this state snapshot's geometry; callers must run it through
+// runCounted with the same snapshot.
+func (st *clusterState) prepareData(b Backend, cfg simgpu.Config) (*ClusterBuffers, func(rank int) (*simgpu.BufferSet, int), error) {
 	ctx := &ClusterBuffers{}
 	var resolve func(rank int) (*simgpu.BufferSet, int)
 	if b == Blink {
-		ctx.Servers = make([]*simgpu.BufferSet, len(e.engines))
+		ctx.Servers = make([]*simgpu.BufferSet, len(st.engines))
 		for si := range ctx.Servers {
 			ctx.Servers[si] = simgpu.NewBufferSet()
 		}
 		resolve = func(rank int) (*simgpu.BufferSet, int) {
-			si, local, _ := e.Locate(rank)
+			si, local, _ := st.locate(rank)
 			return ctx.Servers[si], local
 		}
 	} else {
 		// The flat-ring fabric numbers GPUs globally, server-major, so one
 		// arena spans every rank.
-		if _, err := e.flatFabric(); err != nil {
+		if _, err := st.flatFabric(cfg); err != nil {
 			return nil, nil, err
 		}
 		ctx.Flat = simgpu.NewBufferSet()
@@ -562,8 +666,8 @@ func (e *ClusterEngine) prepareData(b Backend) (*ClusterBuffers, func(rank int) 
 }
 
 // readData snapshots every global rank's buffer under a tag.
-func (e *ClusterEngine) readData(resolve func(rank int) (*simgpu.BufferSet, int), tag, n int) [][]float32 {
-	out := make([][]float32, e.total)
+func (st *clusterState) readData(resolve func(rank int) (*simgpu.BufferSet, int), tag, n int) [][]float32 {
+	out := make([][]float32, st.total)
 	for g := range out {
 		bs, local := resolve(g)
 		out[g] = append([]float32(nil), bs.Buffer(local, tag, n)...)

@@ -101,18 +101,18 @@ type Options struct {
 	Buffers *simgpu.BufferSet
 }
 
-// Engine is a collective runtime bound to one induced topology.
-//
-// An Engine is safe for concurrent use: any number of goroutines may call
-// Run / RunMany / Packing simultaneously. Schedule compilation state
-// (packings, rings) is guarded by mu; compiled schedules live in an LRU
-// PlanCache as immutable FrozenPlans that replay without mutation. Data-
-// mode dispatches run fully in parallel too: each call executes against its
-// own simgpu.BufferSet (Options.Buffers), so no execution state is shared
-// between calls.
-type Engine struct {
-	Topo *topology.Topology
-	Cfg  simgpu.Config
+// engineState is everything an Engine derives from its topology: fabrics,
+// lazily built packings and rings, and the schedule-cache fingerprint. The
+// whole bundle swaps atomically on Reconfigure, so dispatches in flight on
+// the old state finish against a consistent snapshot while new dispatches
+// compile against the post-fault fabric.
+type engineState struct {
+	topo *topology.Topology
+	// machine/devs are what the state was probed from, kept so a
+	// reconfiguration (a derived machine after a link fault, or a shrunken
+	// device set after an eviction) can default the unchanged half.
+	machine *topology.Topology
+	devs    []int
 
 	// mu guards the lazily built scheduling state below (packings, rings).
 	// It is held across TreeGen so concurrent cold calls for one root do
@@ -134,6 +134,34 @@ type Engine struct {
 
 	// fingerprint is the induced topology's schedule-cache identity.
 	fingerprint string
+	// nvlConnected caches whether the allocation's NVLink subgraph is
+	// connected (switch fabrics always are).
+	nvlConnected bool
+}
+
+// Engine is a collective runtime bound to one induced topology.
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// Run / RunMany / Packing simultaneously — including concurrently with
+// Reconfigure, which swaps the engine onto a new (typically degraded)
+// topology. All topology-derived state lives in an immutable-once-published
+// engineState behind an atomic pointer; compiled schedules live in an LRU
+// PlanCache as immutable FrozenPlans that replay without mutation. Data-
+// mode dispatches run fully in parallel too: each call executes against its
+// own simgpu.BufferSet (Options.Buffers), so no execution state is shared
+// between calls.
+type Engine struct {
+	Cfg simgpu.Config
+
+	// st is the current topology-derived state; Load it once per dispatch.
+	st atomic.Pointer[engineState]
+
+	// reconfigMu serializes reconfigurations: each one folds its change
+	// into the state the previous one published, so concurrent faults
+	// (link down + eviction) compose instead of the last write silently
+	// discarding the others. Dispatches never take this lock.
+	reconfigMu sync.Mutex
+
 	// id uniquely identifies this engine; data-mode plan keys carry it
 	// because their Exec closures are bound to this engine's fabrics.
 	id uint64
@@ -144,12 +172,43 @@ type Engine struct {
 	cache *PlanCache
 }
 
-// NewEngine probes the machine for the allocated devices and prepares a
-// runtime. For switch topologies devs must cover the full machine (partial
-// DGX-2 allocations see a uniform fabric anyway).
 // engineIDs hands every engine a distinct nonzero identity.
 var engineIDs atomic.Uint64
 
+// newEngineState probes the machine for the allocated devices and builds
+// the full topology-derived state bundle.
+func newEngineState(machine *topology.Topology, devs []int, cfg simgpu.Config) (*engineState, error) {
+	st := &engineState{machine: machine, devs: append([]int(nil), devs...)}
+	if machine.Kind == topology.KindDGX2 {
+		t, lg, packs, fab, err := core.NewDGX2Runtime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.topo = t
+		st.logical = lg
+		st.oneHop = packs
+		st.switchFabric = fab
+		st.fingerprint = t.Fingerprint()
+		st.nvlConnected = true
+		return st, nil
+	}
+	ind, err := machine.Induce(devs)
+	if err != nil {
+		return nil, err
+	}
+	st.topo = ind
+	st.nvlFabric = simgpu.NewFabric(ind, ind.GPUGraph(), cfg)
+	st.pcieFabric = simgpu.NewFabric(ind, ind.PCIeGraph(), cfg)
+	st.packings = map[int]*core.Packing{}
+	st.pciePacks = map[int]*core.Packing{}
+	st.fingerprint = ind.Fingerprint()
+	st.nvlConnected = ind.GPUGraph().Connected()
+	return st, nil
+}
+
+// NewEngine probes the machine for the allocated devices and prepares a
+// runtime. For switch topologies devs must cover the full machine (partial
+// DGX-2 allocations see a uniform fabric anyway).
 func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engine, error) {
 	e := &Engine{
 		Cfg:    cfg,
@@ -157,30 +216,97 @@ func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engi
 		id:     engineIDs.Add(1),
 		cfgKey: cfg.Normalized(),
 	}
-	if machine.Kind == topology.KindDGX2 {
-		t, lg, packs, fab, err := core.NewDGX2Runtime(cfg)
-		if err != nil {
-			return nil, err
-		}
-		e.Topo = t
-		e.logical = lg
-		e.oneHop = packs
-		e.switchFabric = fab
-		e.fingerprint = t.Fingerprint()
-		return e, nil
-	}
-	ind, err := machine.Induce(devs)
+	st, err := newEngineState(machine, devs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	e.Topo = ind
-	e.nvlFabric = simgpu.NewFabric(ind, ind.GPUGraph(), cfg)
-	e.pcieFabric = simgpu.NewFabric(ind, ind.PCIeGraph(), cfg)
-	e.packings = map[int]*core.Packing{}
-	e.pciePacks = map[int]*core.Packing{}
-	e.fingerprint = ind.Fingerprint()
+	e.st.Store(st)
 	return e, nil
 }
+
+// Reconfigure re-probes and swaps the engine onto a new allocation — the
+// fault-adaptation path: after a link fails or degrades, pass the derived
+// machine (topology.WithoutLink / WithLinkUnits) and nil devs to keep the
+// allocation; after an eviction, pass a nil machine and the shrunken device
+// set. Dispatches already in flight finish against the old state; every
+// later dispatch compiles schedules for the new fabric. Plans cached under
+// the old fingerprint are dropped from the plan cache so dead topologies
+// stop pinning LRU slots (in a shared cache this also costs other engines
+// still on that fingerprint a recompile, never correctness).
+//
+// Reconfigure is atomic: on error (disconnected PCIe plane, unknown device)
+// the engine keeps its current state. Concurrent reconfigurations
+// serialize, each folding its change into the previously published state.
+func (e *Engine) Reconfigure(machine *topology.Topology, devs []int) error {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	return e.reconfigureLocked(machine, devs)
+}
+
+// ReconfigureExclude drops the listed physical devices from the allocation
+// and re-probes the current machine over the survivors — the GPU-eviction
+// path. The read-modify-write on the device set happens under the
+// reconfiguration lock, so concurrent evictions and link faults compose.
+func (e *Engine) ReconfigureExclude(evicted []int) error {
+	if len(evicted) == 0 {
+		return fmt.Errorf("collective: no devices to exclude")
+	}
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	gone := map[int]bool{}
+	for _, d := range evicted {
+		gone[d] = true
+	}
+	var keep []int
+	for _, d := range e.st.Load().devs {
+		if gone[d] {
+			delete(gone, d)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	for d := range gone {
+		return fmt.Errorf("collective: device %d not in the allocation", d)
+	}
+	if len(keep) < 2 {
+		return fmt.Errorf("collective: eviction would leave %d device(s); a communicator needs at least 2", len(keep))
+	}
+	return e.reconfigureLocked(nil, keep)
+}
+
+// reconfigureLocked builds and publishes the post-fault state; the caller
+// holds reconfigMu.
+func (e *Engine) reconfigureLocked(machine *topology.Topology, devs []int) error {
+	old := e.st.Load()
+	if machine == nil {
+		machine = old.machine
+	}
+	if devs == nil {
+		devs = old.devs
+	}
+	if old.switchFabric != nil || machine.Kind == topology.KindDGX2 {
+		return fmt.Errorf("collective: switch-fabric engines do not support reconfiguration")
+	}
+	st, err := newEngineState(machine, devs, e.Cfg)
+	if err != nil {
+		return err
+	}
+	e.st.Store(st)
+	if st.fingerprint != old.fingerprint {
+		e.cache.InvalidateFingerprint(old.fingerprint)
+	}
+	return nil
+}
+
+// Topo returns the currently induced topology. After a Reconfigure the
+// returned snapshot reflects the post-fault allocation.
+func (e *Engine) Topo() *topology.Topology { return e.st.Load().topo }
+
+// Machine returns the base machine the current allocation was probed from.
+func (e *Engine) Machine() *topology.Topology { return e.st.Load().machine }
+
+// AllocatedDevs returns the physical device IDs of the current allocation.
+func (e *Engine) AllocatedDevs() []int { return append([]int(nil), e.st.Load().devs...) }
 
 // SetPlanCache replaces the engine's plan cache, e.g. with one shared by
 // several communicators over the same machine (keys carry the topology
@@ -201,60 +327,55 @@ func (e *Engine) PlanCacheHandle() *PlanCache { return e.cache }
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
 
 // Fingerprint returns the induced topology's schedule-cache identity.
-func (e *Engine) Fingerprint() string { return e.fingerprint }
+func (e *Engine) Fingerprint() string { return e.st.Load().fingerprint }
 
 // Switched reports whether the engine runs on a switch fabric.
-func (e *Engine) Switched() bool { return e.switchFabric != nil }
+func (e *Engine) Switched() bool { return e.st.Load().switchFabric != nil }
 
 // NVLinkConnected reports whether the allocation's NVLink subgraph is
 // connected (Blink needs this to build NVLink trees; NCCL needs a full
 // ring, which is stricter).
-func (e *Engine) NVLinkConnected() bool {
-	if e.Switched() {
-		return true
-	}
-	return e.Topo.GPUGraph().Connected()
-}
+func (e *Engine) NVLinkConnected() bool { return e.st.Load().nvlConnected }
 
 // packing returns (caching) the minimized NVLink tree packing for a root.
-func (e *Engine) packing(root int) (*core.Packing, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.packings[root]; ok {
+func (st *engineState) packing(root int) (*core.Packing, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p, ok := st.packings[root]; ok {
 		return p, nil
 	}
-	p, err := core.GenerateTrees(e.Topo.GPUGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
+	p, err := core.GenerateTrees(st.topo.GPUGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
 	if err != nil {
 		return nil, err
 	}
-	e.packings[root] = p
+	st.packings[root] = p
 	return p, nil
 }
 
 // pciePacking returns (caching) the PCIe hub packing for a root.
-func (e *Engine) pciePacking(root int) (*core.Packing, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.pciePacks[root]; ok {
+func (st *engineState) pciePacking(root int) (*core.Packing, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p, ok := st.pciePacks[root]; ok {
 		return p, nil
 	}
-	p, err := core.GenerateTrees(e.Topo.PCIeGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
+	p, err := core.GenerateTrees(st.topo.PCIeGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
 	if err != nil {
 		return nil, err
 	}
-	e.pciePacks[root] = p
+	st.pciePacks[root] = p
 	return p, nil
 }
 
 // ncclRings returns (caching) the NVLink rings NCCL would build.
-func (e *Engine) ncclRings() []ring.Ring {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.ringsDone {
-		e.rings = ring.FindRings(e.Topo.GPUGraph())
-		e.ringsDone = true
+func (st *engineState) ncclRings() []ring.Ring {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.ringsDone {
+		st.rings = ring.FindRings(st.topo.GPUGraph())
+		st.ringsDone = true
 	}
-	return e.rings
+	return st.rings
 }
 
 // chunkFor picks a pipelining granularity: large payloads use 4 MiB, small
@@ -284,14 +405,38 @@ func chunkFor(bytes int64, override int64) int64 {
 // whole point of Blink's generate-once / run-thousands-of-iterations
 // design. Run is safe for concurrent use.
 func (e *Engine) Run(b Backend, op Op, root int, bytes int64, opts Options) (Result, error) {
-	res, _, err := e.runCounted(b, op, root, bytes, opts)
+	res, _, err := e.runCounted(e.st.Load(), b, op, root, bytes, opts)
+	return res, err
+}
+
+// Snapshot pins the engine's current topology state so a caller can run a
+// consistent multi-step sequence — validate inputs against the rank count,
+// stage buffers, dispatch, read results — that a concurrent Reconfigure
+// cannot split across pre- and post-fault topologies.
+type Snapshot struct {
+	e  *Engine
+	st *engineState
+}
+
+// Snapshot captures the engine's current topology state.
+func (e *Engine) Snapshot() Snapshot { return Snapshot{e: e, st: e.st.Load()} }
+
+// Topo returns the snapshot's induced topology.
+func (s Snapshot) Topo() *topology.Topology { return s.st.topo }
+
+// Run executes one collective against the snapshot's topology, regardless
+// of any reconfiguration that happened after the snapshot was taken.
+func (s Snapshot) Run(b Backend, op Op, root int, bytes int64, opts Options) (Result, error) {
+	res, _, err := s.e.runCounted(s.st, b, op, root, bytes, opts)
 	return res, err
 }
 
 // runCounted is Run plus exact cache attribution: hit reports whether this
-// call replayed a cached plan (true) or compiled one (false).
-func (e *Engine) runCounted(b Backend, op Op, root int, bytes int64, opts Options) (Result, bool, error) {
-	cp, hit, err := e.lookupOrCompile(b, op, root, bytes, opts)
+// call replayed a cached plan (true) or compiled one (false). The whole
+// dispatch runs against one state snapshot, so a concurrent Reconfigure
+// never mixes pre- and post-fault scheduling state within a call.
+func (e *Engine) runCounted(st *engineState, b Backend, op Op, root int, bytes int64, opts Options) (Result, bool, error) {
+	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
 		return Result{}, false, err
 	}
@@ -311,13 +456,19 @@ func (e *Engine) runCounted(b Backend, op Op, root int, bytes int64, opts Option
 // inserting the plan on a miss. Two goroutines missing on the same key may
 // both compile; both results are identical and the second Put simply
 // replaces the first, so correctness is unaffected.
-func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
+func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, bytes int64, opts Options) (*CachedPlan, bool, error) {
 	if bytes < 4 {
 		return nil, false, fmt.Errorf("collective: payload %d too small", bytes)
 	}
+	// A root that was valid at construction can go stale after a
+	// reconfiguration shrinks the allocation; fail cleanly, not with an
+	// index panic deep in TreeGen.
+	if root < 0 || root >= st.topo.NumGPUs {
+		return nil, false, fmt.Errorf("collective: root %d out of range [0,%d)", root, st.topo.NumGPUs)
+	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
 	key := PlanKey{
-		Fingerprint: e.fingerprint,
+		Fingerprint: st.fingerprint,
 		Config:      e.cfgKey,
 		Backend:     b,
 		Op:          op,
@@ -347,18 +498,24 @@ func (e *Engine) lookupOrCompile(b Backend, op Op, root int, bytes int64, opts O
 	strategy := ""
 
 	switch {
-	case e.Switched():
-		plan, strategy, err = e.switchPlan(b, op, root, bytes, po, ro)
+	case st.switchFabric != nil:
+		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, ro)
 	case b == Blink:
-		plan, strategy, err = e.blinkPlan(op, root, bytes, po, opts)
+		plan, strategy, err = blinkPlan(st, op, root, bytes, po, opts)
 	default:
-		plan, strategy, err = e.ncclPlan(op, root, bytes, po, ro)
+		plan, strategy, err = ncclPlan(st, op, root, bytes, po, ro)
 	}
 	if err != nil {
 		return nil, false, err
 	}
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
 	e.cache.Put(key, cp)
+	// A Reconfigure may have swapped the engine and invalidated this
+	// fingerprint while we were compiling; re-check so the Put above cannot
+	// resurrect a dead topology's plan that would pin an LRU slot forever.
+	if cur := e.st.Load(); cur != st && cur.fingerprint != st.fingerprint {
+		e.cache.InvalidateFingerprint(st.fingerprint)
+	}
 	return cp, false, nil
 }
 
@@ -388,8 +545,11 @@ type GroupResult struct {
 // bucket sizes every iteration, so after the first step every dispatch in
 // the group is a warm replay.
 func (e *Engine) RunMany(b Backend, op Op, root int, sizes []int64, opts Options) (GroupResult, error) {
+	// One state snapshot for the whole group: a Reconfigure landing
+	// mid-group must not split the buckets across topologies.
+	st := e.st.Load()
 	return runGroup(sizes, func(sz int64) (Result, bool, error) {
-		return e.runCounted(b, op, root, sz, opts)
+		return e.runCounted(st, b, op, root, sz, opts)
 	})
 }
 
@@ -424,16 +584,16 @@ func runGroup(sizes []int64, run func(int64) (Result, bool, error)) (GroupResult
 }
 
 // blinkPlan compiles a Blink schedule on a point-to-point machine.
-func (e *Engine) blinkPlan(op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
-	if !e.NVLinkConnected() {
+func blinkPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
+	if !st.nvlConnected {
 		// NVLink alone cannot span the allocation: Blink packs PCIe trees.
-		p, err := e.pciePacking(root)
+		p, err := st.pciePacking(root)
 		if err != nil {
 			return nil, "", err
 		}
-		return e.planFor(op, e.pcieFabric, p, bytes, po, "pcie-trees")
+		return planFor(op, st.pcieFabric, p, bytes, po, "pcie-trees")
 	}
-	p, err := e.packing(root)
+	p, err := st.packing(root)
 	if err != nil {
 		return nil, "", err
 	}
@@ -442,62 +602,62 @@ func (e *Engine) blinkPlan(op Op, root int, bytes int64, po core.PlanOptions, op
 		// non-broadcast ops.
 		return nil, "", fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
 	}
-	return e.planFor(op, e.nvlFabric, p, bytes, po, "trees")
+	return planFor(op, st.nvlFabric, p, bytes, po, "trees")
 }
 
 // ncclPlan compiles the baseline schedule on a point-to-point machine.
-func (e *Engine) ncclPlan(op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
-	rings := e.ncclRings()
+func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+	rings := st.ncclRings()
 	if len(rings) == 0 {
 		// Figure 2b: no NVLink ring -> PCIe fallback.
-		n := e.Topo.NumGPUs
+		n := st.topo.NumGPUs
 		switch op {
 		case Broadcast, Gather, Scatter:
-			plan, err := ring.BuildPCIeBroadcastPlan(e.pcieFabric, n, root, bytes, ro)
+			plan, err := ring.BuildPCIeBroadcastPlan(st.pcieFabric, n, root, bytes, ro)
 			return plan, "pcie-ring", err
 		default:
-			plan, err := ring.BuildPCIeAllReducePlan(e.pcieFabric, n, bytes, ro)
+			plan, err := ring.BuildPCIeAllReducePlan(st.pcieFabric, n, bytes, ro)
 			return plan, "pcie-ring", err
 		}
 	}
 	switch op {
 	case Broadcast, Gather, Scatter:
-		plan, err := ring.BuildBroadcastPlan(e.nvlFabric, rings, root, bytes, ro)
+		plan, err := ring.BuildBroadcastPlan(st.nvlFabric, rings, root, bytes, ro)
 		return plan, "rings", err
 	default:
-		plan, err := ring.BuildAllReducePlan(e.nvlFabric, rings, bytes, ro)
+		plan, err := ring.BuildAllReducePlan(st.nvlFabric, rings, bytes, ro)
 		return plan, "rings", err
 	}
 }
 
 // switchPlan compiles DGX-2 schedules.
-func (e *Engine) switchPlan(b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+func switchPlan(st *engineState, b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
 	if b == Blink {
 		switch op {
 		case Broadcast, Gather, Scatter:
-			p := e.oneHop[root]
-			return e.planFor(op, e.switchFabric, p, bytes, po, "one-hop")
+			p := st.oneHop[root]
+			return planFor(op, st.switchFabric, p, bytes, po, "one-hop")
 		default:
-			plan, err := core.BuildDGX2AllReducePlan(e.switchFabric, e.oneHop, bytes, po)
+			plan, err := core.BuildDGX2AllReducePlan(st.switchFabric, st.oneHop, bytes, po)
 			return plan, "one-hop", err
 		}
 	}
 	switch op {
 	case Broadcast, Gather, Scatter:
-		lr, err := ring.BuildSwitchBroadcastPlan(e.switchFabric, root, bytes, ro)
+		lr, err := ring.BuildSwitchBroadcastPlan(st.switchFabric, root, bytes, ro)
 		return lr, "ring", err
 	default:
 		if bytes < DBTreeThresholdBytes {
-			plan, err := ring.BuildDBTreeAllReducePlan(e.switchFabric, bytes, ro)
+			plan, err := ring.BuildDBTreeAllReducePlan(st.switchFabric, bytes, ro)
 			return plan, "db-tree", err
 		}
-		plan, err := ring.BuildSwitchAllReducePlan(e.switchFabric, bytes, ro)
+		plan, err := ring.BuildSwitchAllReducePlan(st.switchFabric, bytes, ro)
 		return plan, "ring", err
 	}
 }
 
 // planFor dispatches tree-based ops over a packing.
-func (e *Engine) planFor(op Op, f *simgpu.Fabric, p *core.Packing, bytes int64, po core.PlanOptions, strategy string) (*core.Plan, string, error) {
+func planFor(op Op, f *simgpu.Fabric, p *core.Packing, bytes int64, po core.PlanOptions, strategy string) (*core.Plan, string, error) {
 	switch op {
 	case Broadcast:
 		plan, err := core.BuildBroadcastPlan(f, p, bytes, po)
@@ -531,56 +691,62 @@ func (e *Engine) planFor(op Op, f *simgpu.Fabric, p *core.Packing, bytes int64, 
 // the switch fabric on a DGX-2, otherwise the NVLink plane (or the PCIe
 // plane when the backend must fall back to it).
 func (e *Engine) FabricFor(b Backend) *simgpu.Fabric {
-	if e.Switched() {
-		return e.switchFabric
+	st := e.st.Load()
+	if st.switchFabric != nil {
+		return st.switchFabric
 	}
 	if b == Blink {
-		if e.NVLinkConnected() {
-			return e.nvlFabric
+		if st.nvlConnected {
+			return st.nvlFabric
 		}
-		return e.pcieFabric
+		return st.pcieFabric
 	}
-	if len(e.ncclRings()) > 0 {
-		return e.nvlFabric
+	if len(st.ncclRings()) > 0 {
+		return st.nvlFabric
 	}
-	return e.pcieFabric
+	return st.pcieFabric
 }
 
 // Packing exposes the minimized spanning-tree packing the Blink backend
 // uses for the given root (one-hop trees on a DGX-2).
 func (e *Engine) Packing(root int) (*core.Packing, error) {
-	if e.Switched() {
-		if root < 0 || root >= len(e.oneHop) {
-			return nil, fmt.Errorf("collective: root %d out of range", root)
-		}
-		return e.oneHop[root], nil
+	st := e.st.Load()
+	if root < 0 || root >= st.topo.NumGPUs {
+		return nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, st.topo.NumGPUs)
 	}
-	if !e.NVLinkConnected() {
-		return e.pciePacking(root)
+	if st.switchFabric != nil {
+		return st.oneHop[root], nil
 	}
-	return e.packing(root)
+	if !st.nvlConnected {
+		return st.pciePacking(root)
+	}
+	return st.packing(root)
 }
 
 // RunHybridBroadcast executes Blink's hybrid PCIe+NVLink broadcast (§3.4).
 func (e *Engine) RunHybridBroadcast(root int, bytes int64, opts Options) (Result, *core.HybridResult, error) {
-	if e.Switched() {
+	st := e.st.Load()
+	if st.switchFabric != nil {
 		return Result{}, nil, fmt.Errorf("collective: hybrid transfers target DGX-1 class machines")
 	}
-	if !e.NVLinkConnected() {
+	if !st.nvlConnected {
 		return Result{}, nil, fmt.Errorf("collective: hybrid requires a connected NVLink allocation")
 	}
-	pn, err := e.packing(root)
+	if root < 0 || root >= st.topo.NumGPUs {
+		return Result{}, nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, st.topo.NumGPUs)
+	}
+	pn, err := st.packing(root)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	pp, err := e.pciePacking(root)
+	pp, err := st.pciePacking(root)
 	if err != nil {
 		return Result{}, nil, err
 	}
 	po := core.PlanOptions{ChunkBytes: chunkFor(bytes, opts.ChunkBytes), DataMode: opts.DataMode, NoStreamReuse: true}
 	// Hybrid plans execute inside BuildHybridBroadcast; in data mode they
 	// move real floats through the caller's per-call arena.
-	h, err := core.BuildHybridBroadcast(e.nvlFabric, pn, e.pcieFabric, pp, bytes, po, opts.Buffers)
+	h, err := core.BuildHybridBroadcast(st.nvlFabric, pn, st.pcieFabric, pp, bytes, po, opts.Buffers)
 	if err != nil {
 		return Result{}, nil, err
 	}

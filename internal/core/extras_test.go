@@ -33,6 +33,74 @@ func TestMIADTunerConverges(t *testing.T) {
 	}
 }
 
+// TestMIADSettlesAtBestSeen is the regression test for the
+// growth→decrease transition resetting the comparison baseline to the
+// declined (trough) throughput: on a unimodal curve whose overshoot region
+// is flat, the old tuner settled in the trough, well below the best-seen
+// peak. The tuner must settle at the best observation instead.
+func TestMIADSettlesAtBestSeen(t *testing.T) {
+	// Unimodal response: linear rise to a peak of 80 at 8 MiB, then a
+	// sharp drop to a nearly flat plateau around 40 (within the 2%
+	// tolerance step to step), the shape that traps trough-relative
+	// comparisons.
+	perf := func(chunk int64) float64 {
+		mb := float64(chunk) / float64(1<<20)
+		if mb <= 8 {
+			return 10 * mb
+		}
+		return 40 + (16-mb)*0.5
+	}
+	tuner := NewMIADTuner(1 << 20)
+	for i := 0; i < 32 && !tuner.Steady(); i++ {
+		tuner.Observe(perf(tuner.Chunk()))
+	}
+	if !tuner.Steady() {
+		t.Fatal("tuner did not converge")
+	}
+	bestTp, bestChunk := 0.0, int64(0)
+	for _, s := range tuner.History {
+		if s.ThroughputGBs > bestTp {
+			bestTp, bestChunk = s.ThroughputGBs, s.ChunkBytes
+		}
+	}
+	if tuner.Chunk() != bestChunk {
+		t.Fatalf("settled at %d bytes (%.1f GB/s), want best-seen %d bytes (%.1f GB/s)",
+			tuner.Chunk(), perf(tuner.Chunk()), bestChunk, bestTp)
+	}
+	if got := perf(tuner.Chunk()); got < bestTp*(1-0.02) {
+		t.Fatalf("steady-state throughput %.1f well below best-seen %.1f", got, bestTp)
+	}
+}
+
+// TestMIADExploresOvershootGap guards the decrease phase's hill-climb: an
+// optimum lying strictly between the growth phase's last good chunk and
+// the overshoot (here 12 MiB between 8 and 16) must still be found — the
+// walk compares probe to probe, and only the final settle jumps to the
+// best-seen observation.
+func TestMIADExploresOvershootGap(t *testing.T) {
+	perf := func(chunk int64) float64 {
+		mb := float64(chunk) / float64(1<<20)
+		switch {
+		case mb <= 8:
+			return 10 * mb // rises to 80 at 8 MiB
+		case mb <= 12:
+			return 80 + (mb-8)*2.5 // true optimum: 90 at 12 MiB
+		default:
+			return 90 - (mb-12)*15 // cliff: 30 at 16 MiB
+		}
+	}
+	tuner := NewMIADTuner(1 << 20)
+	for i := 0; i < 32 && !tuner.Steady(); i++ {
+		tuner.Observe(perf(tuner.Chunk()))
+	}
+	if !tuner.Steady() {
+		t.Fatal("tuner did not converge")
+	}
+	if got := perf(tuner.Chunk()); got < 90*(1-0.02) {
+		t.Fatalf("settled at %d bytes (%.1f GB/s); the 12 MiB / 90 GB/s optimum was missed", tuner.Chunk(), got)
+	}
+}
+
 func TestMIADTunerDefaults(t *testing.T) {
 	tuner := NewMIADTuner(0)
 	if tuner.Chunk() != 1<<20 {

@@ -24,10 +24,14 @@ type MIADTuner struct {
 	// MinChunkBytes floors the chunk size (default 64 KiB).
 	MinChunkBytes int64
 
-	chunk   int64
-	last    float64
-	state   int // 0 growing, 1 decreasing, 2 steady
-	History []MIADSample
+	chunk int64
+	last  float64
+	// bestTp/bestChunk track the best-seen observation; the tuner settles
+	// there, not wherever the additive-decrease walk happens to stop.
+	bestTp    float64
+	bestChunk int64
+	state     int // 0 growing, 1 decreasing, 2 steady
+	History   []MIADSample
 }
 
 // NewMIADTuner starts a tuner at the given initial chunk size (the paper
@@ -55,6 +59,10 @@ func (t *MIADTuner) Steady() bool { return t.state == 2 }
 // advances the tuner. It returns the chunk size for the next iteration.
 func (t *MIADTuner) Observe(throughputGBs float64) int64 {
 	t.History = append(t.History, MIADSample{Iter: len(t.History) + 1, ChunkBytes: t.chunk, ThroughputGBs: throughputGBs})
+	if throughputGBs > t.bestTp || t.bestChunk == 0 {
+		t.bestTp = throughputGBs
+		t.bestChunk = t.chunk
+	}
 	improved := throughputGBs > t.last*(1+t.Tolerance)
 	declined := throughputGBs < t.last*(1-t.Tolerance)
 	switch t.state {
@@ -63,6 +71,11 @@ func (t *MIADTuner) Observe(throughputGBs float64) int64 {
 			t.last = throughputGBs
 			t.chunk = int64(float64(t.chunk) * t.Factor)
 		} else if declined {
+			// Hill-climb out of the overshoot: the decrease phase compares
+			// each probe against the previous one, so optima inside the
+			// (peak, peak*Factor) gap are still found. Settling below the
+			// best-seen observation is impossible regardless — steady
+			// state jumps to bestChunk below.
 			t.state = 1
 			t.last = throughputGBs
 			t.chunk -= t.DecrementBytes
@@ -74,16 +87,20 @@ func (t *MIADTuner) Observe(throughputGBs float64) int64 {
 			t.last = throughputGBs
 			t.chunk -= t.DecrementBytes
 		} else {
-			// Went too far (or flat): step back and settle.
-			if declined {
-				t.chunk += t.DecrementBytes
-			}
-			t.state = 2
+			t.state = 2 // no further improvement: settle
 		}
 	}
 	if t.chunk < t.MinChunkBytes {
 		t.chunk = t.MinChunkBytes
 		t.state = 2
+	}
+	if t.state == 2 {
+		// Settle at the best-seen chunk (the walk may have ended in a
+		// trough), floored like every emitted chunk.
+		t.chunk = t.bestChunk
+		if t.chunk < t.MinChunkBytes {
+			t.chunk = t.MinChunkBytes
+		}
 	}
 	return t.chunk
 }

@@ -1,0 +1,150 @@
+package dnn
+
+import (
+	"testing"
+
+	"blink/internal/cluster"
+	"blink/internal/collective"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// fakeClock is a deterministic monotonic clock for wall-time bookkeeping.
+func fakeClock() func() float64 {
+	t := 0.0
+	return func() float64 { t += 0.001; return t }
+}
+
+func TestSimulateTrainingRunWithFaultsLinkLoss(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	const iters = 6
+	sched := cluster.LinkLoss(0, 3, 2)
+	run, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, iters, sched, simgpu.Config{}, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trajectory) != iters {
+		t.Fatalf("trajectory has %d points, want %d", len(run.Trajectory), iters)
+	}
+	if run.Trajectory[2].Fault == "" {
+		t.Fatal("fault iteration not labeled")
+	}
+	for i, p := range run.Trajectory {
+		if i != 2 && p.Fault != "" {
+			t.Fatalf("iteration %d unexpectedly labeled %q", i, p.Fault)
+		}
+		if p.StepSeconds <= 0 || p.ThroughputGBs <= 0 {
+			t.Fatalf("iteration %d has non-positive step time/throughput", i)
+		}
+		if p.GPUs != 8 {
+			t.Fatalf("iteration %d ran on %d GPUs, want 8", i, p.GPUs)
+		}
+	}
+	if run.PreFaultGBs <= 0 || run.PostFaultGBs <= 0 {
+		t.Fatal("pre/post-fault steady states not recorded")
+	}
+	if run.PostFaultGBs < run.PreFaultGBs/2 {
+		t.Fatalf("post-fault throughput %.2f below half of pre-fault %.2f", run.PostFaultGBs, run.PreFaultGBs)
+	}
+	if run.ReplanWallSeconds <= 0 {
+		t.Fatal("replan cost not recorded")
+	}
+	// Post-fault steady state replays frozen plans: all misses happen at
+	// iteration 0 (cold) and the fault iteration (replan).
+	cold := run.Trajectory[0].CacheMisses
+	replan := run.Trajectory[2].CacheMisses
+	if cold == 0 || replan == 0 {
+		t.Fatalf("cold %d / replan %d misses, want both positive", cold, replan)
+	}
+	if run.CacheMisses != cold+replan {
+		t.Fatalf("total misses %d, want only cold %d + replan %d", run.CacheMisses, cold, replan)
+	}
+}
+
+func TestSimulateTrainingRunWithFaultsEvictionShrinks(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	run, err := SimulateTrainingRunWithFaults(machine, devs, collective.NCCL,
+		VGG16(), 25<<20, 5, cluster.Eviction(7, 2), simgpu.Config{}, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trajectory[1].GPUs != 8 || run.Trajectory[2].GPUs != 7 {
+		t.Fatalf("GPU counts around eviction = %d -> %d, want 8 -> 7",
+			run.Trajectory[1].GPUs, run.Trajectory[2].GPUs)
+	}
+}
+
+func TestSimulateTrainingRunWithFaultsFlapRecovers(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	run, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, 7, cluster.LinkFlap(0, 3, 2, 4), simgpu.Config{}, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the heal the fabric is pristine again: final throughput must
+	// match the pre-fault steady state exactly (deterministic simulator).
+	if run.PostFaultGBs != run.PreFaultGBs {
+		t.Fatalf("healed throughput %.4f != pre-fault %.4f", run.PostFaultGBs, run.PreFaultGBs)
+	}
+}
+
+func TestSimulateTrainingRunWithFaultsValidation(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3}
+	// Fault at iteration 0 leaves no pre-fault steady state.
+	if _, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, 5, cluster.LinkLoss(0, 1, 0), simgpu.Config{}, fakeClock()); err == nil {
+		t.Fatal("fault at iteration 0 must be rejected")
+	}
+	// Restoring a link that never failed is a schedule bug.
+	bad := cluster.FaultSchedule{Name: "bad", Faults: []cluster.Fault{
+		{Iter: 2, Kind: cluster.LinkRestored, A: 0, B: 1},
+	}}
+	if _, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, 5, bad, simgpu.Config{}, fakeClock()); err == nil {
+		t.Fatal("restoring a healthy link must be rejected")
+	}
+	// Evicting the same device twice is a malformed schedule.
+	dup := cluster.FaultSchedule{Name: "dup-evict", Faults: []cluster.Fault{
+		{Iter: 1, Kind: cluster.GPUEvicted, Dev: 3},
+		{Iter: 2, Kind: cluster.GPUEvicted, Dev: 3},
+	}}
+	if _, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, 5, dup, simgpu.Config{}, fakeClock()); err == nil {
+		t.Fatal("double eviction must be rejected")
+	}
+	// Server loss is a cluster fault.
+	if _, err := SimulateTrainingRunWithFaults(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, 5, cluster.ServerLoss(1, 2), simgpu.Config{}, fakeClock()); err == nil {
+		t.Fatal("server loss on a single machine must be rejected")
+	}
+}
+
+func TestSimulateClusterTrainingRunWithFaults(t *testing.T) {
+	c, err := (cluster.Scenario{Pieces: []int{4, 4, 4}}).Cluster(topology.DGX1V(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 6
+	run, err := SimulateClusterTrainingRunWithFaults(c, collective.Blink,
+		ResNet50(), 25<<20, iters, cluster.ServerLoss(2, 2), simgpu.Config{}, fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trajectory[1].GPUs != 12 || run.Trajectory[2].GPUs != 8 {
+		t.Fatalf("GPU counts around server loss = %d -> %d, want 12 -> 8",
+			run.Trajectory[1].GPUs, run.Trajectory[2].GPUs)
+	}
+	if run.PostFaultGBs <= 0 {
+		t.Fatal("post-loss throughput not recorded")
+	}
+	// Link faults are single-machine-only for cluster runs.
+	if _, err := SimulateClusterTrainingRunWithFaults(c, collective.Blink,
+		ResNet50(), 25<<20, iters, cluster.LinkLoss(0, 3, 2), simgpu.Config{}, fakeClock()); err == nil {
+		t.Fatal("link faults on a cluster run must be rejected")
+	}
+}

@@ -79,10 +79,28 @@ func Parse(spec string) (*Topology, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("topology: no edges in spec")
 	}
+	// Fold duplicate connection tokens ("0-1, 0-1" or "0-1, 1-0") into one
+	// connection with the summed link count, keeping first-appearance
+	// order. One edge pair per connected device pair is what keeps derived
+	// topologies' degrade-then-restore (WithLinkUnits) fingerprint-stable,
+	// and matches what Spec() renders.
+	type pair struct{ a, b int }
+	caps := map[pair]float64{}
+	var order []pair
+	for _, e := range edges {
+		k := pair{e.a, e.b}
+		if k.a > k.b {
+			k.a, k.b = k.b, k.a
+		}
+		if _, seen := caps[k]; !seen {
+			order = append(order, k)
+		}
+		caps[k] += e.links
+	}
 	n := maxV + 1
 	g := graph.New(n)
-	for _, e := range edges {
-		g.AddBiEdge(e.a, e.b, e.links, graph.NVLink)
+	for _, k := range order {
+		g.AddBiEdge(k.a, k.b, caps[k], graph.NVLink)
 	}
 	t := &Topology{
 		Name:    fmt.Sprintf("custom-%d", n),

@@ -1,0 +1,190 @@
+package topology
+
+import (
+	"testing"
+
+	"blink/internal/graph"
+)
+
+func TestWithoutLinkRemovesBothDirections(t *testing.T) {
+	v := DGX1V()
+	d, err := v.WithoutLink(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.G.Edges {
+		if (e.From == 0 && e.To == 3) || (e.From == 3 && e.To == 0) {
+			t.Fatalf("edge %d->%d survived WithoutLink", e.From, e.To)
+		}
+	}
+	if d.Fingerprint() == v.Fingerprint() {
+		t.Fatal("derived topology shares the pristine fingerprint")
+	}
+	if d.NumGPUs != v.NumGPUs || len(d.DevIDs) != len(v.DevIDs) {
+		t.Fatal("link removal must not change the device set")
+	}
+	if !d.GPUGraph().Connected() {
+		t.Fatal("DGX-1V minus one link must stay connected")
+	}
+	// The pristine machine is untouched.
+	if len(v.G.Edges) == len(d.G.Edges) {
+		t.Fatal("derivation did not drop any edges")
+	}
+}
+
+func TestWithoutLinkErrors(t *testing.T) {
+	v := DGX1V()
+	// 0-5 is not a DGX-1V connection.
+	if _, err := v.WithoutLink(0, 5); err == nil {
+		t.Fatal("removing a non-existent link must error")
+	}
+	if _, err := v.WithoutLink(0, 42); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if _, err := v.WithoutLink(2, 2); err == nil {
+		t.Fatal("self-link must error")
+	}
+	if _, err := v.WithLinkUnits(0, 3, -1); err == nil {
+		t.Fatal("negative capacity must error")
+	}
+	// DGX-2 GPUs attach to the switch, not each other.
+	if _, err := DGX2().WithoutLink(0, 1); err == nil {
+		t.Fatal("DGX-2 has no GPU-to-GPU links to remove")
+	}
+}
+
+func TestWithLinkUnitsDegradeAndRestore(t *testing.T) {
+	v := DGX1V()
+	// 0-3 is a doubled connection on the DGX-1V.
+	deg, err := v.WithLinkUnits(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capSum float64
+	for _, e := range deg.G.Edges {
+		if e.From == 0 && e.To == 3 {
+			capSum += e.Cap
+		}
+	}
+	if capSum != 1 {
+		t.Fatalf("degraded 0->3 capacity %g, want 1", capSum)
+	}
+	if deg.Fingerprint() == v.Fingerprint() {
+		t.Fatal("degradation must change the fingerprint")
+	}
+	// Restoring the original capacity reproduces the pristine fingerprint,
+	// so a healed flap can reuse previously compiled schedules.
+	res, err := deg.WithLinkUnits(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != v.Fingerprint() {
+		t.Fatal("restored topology must reproduce the pristine fingerprint")
+	}
+}
+
+func TestWithoutDevice(t *testing.T) {
+	v := DGX1V()
+	d, err := v.WithoutDevice(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumGPUs != 7 {
+		t.Fatalf("NumGPUs = %d, want 7", d.NumGPUs)
+	}
+	for _, id := range d.DevIDs {
+		if id == 3 {
+			t.Fatal("evicted device still in DevIDs")
+		}
+	}
+	if d.Fingerprint() == v.Fingerprint() {
+		t.Fatal("eviction must change the fingerprint")
+	}
+	// The PCIe hub must survive with the remaining 7 GPUs attached.
+	if d.P.N != 8 { // 7 GPUs + hub relay
+		t.Fatalf("PCIe plane has %d vertices, want 8", d.P.N)
+	}
+	if !d.GPUGraph().Connected() {
+		t.Fatal("DGX-1V minus one GPU must stay NVLink-connected")
+	}
+
+	// Induce on the derived machine resolves surviving physical IDs.
+	ind, err := d.Induce([]int{4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ind.DevIDs; len(got) != 4 || got[0] != 4 || got[3] != 7 {
+		t.Fatalf("induced DevIDs = %v, want [4 5 6 7]", got)
+	}
+	// ...and rejects the evicted one.
+	if _, err := d.Induce([]int{2, 3}); err == nil {
+		t.Fatal("inducing an evicted device must error")
+	}
+
+	// Switch fabrics rebuild from the pristine runtime, so eviction must
+	// fail loudly rather than be silently ignored downstream.
+	if _, err := DGX2().WithoutDevice(5); err == nil {
+		t.Fatal("DGX-2 eviction must error")
+	}
+
+	// Cannot shrink below two GPUs.
+	two, err := Parse("v100; 0-1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.WithoutDevice(0); err == nil {
+		t.Fatal("evicting down to one GPU must error")
+	}
+}
+
+func TestDerivationsAreDeterministic(t *testing.T) {
+	a, err := DGX1V().WithoutLink(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DGX1V().WithoutLink(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical derivations must share a fingerprint")
+	}
+}
+
+func TestClusterWithoutServer(t *testing.T) {
+	mk := func(n int) []Server {
+		var ss []Server
+		for i := 0; i < n; i++ {
+			ss = append(ss, Server{Machine: DGX1V(), Devs: []int{0, 1, 2, 3}})
+		}
+		return ss
+	}
+	c, err := NewCluster(mk(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.WithoutServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Servers) != 2 {
+		t.Fatalf("%d servers survive, want 2", len(d.Servers))
+	}
+	if d.Fingerprint() == c.Fingerprint() {
+		t.Fatal("shrunken cluster must change fingerprint")
+	}
+	if d.Net.N != 3 { // 2 servers + switch
+		t.Fatalf("NIC fabric has %d vertices, want 3", d.Net.N)
+	}
+	for _, e := range d.Net.Edges {
+		if e.Type != graph.Net {
+			t.Fatalf("unexpected edge type %v in NIC fabric", e.Type)
+		}
+	}
+	if _, err := d.WithoutServer(0); err == nil {
+		t.Fatal("shrinking below 2 servers must error")
+	}
+	if _, err := c.WithoutServer(5); err == nil {
+		t.Fatal("out-of-range server must error")
+	}
+}

@@ -44,16 +44,24 @@ func NewCluster(servers []Server, nicGbps float64) (*Cluster, error) {
 		}
 		c.Servers = append(c.Servers, ind)
 	}
-	unit := c.Servers[0].LinkBandwidthGBs(graph.NVLink)
+	c.Net = buildNICFabric(c.Servers, c.NICGBs)
+	return c, nil
+}
+
+// buildNICFabric assembles the cross-server fabric — one vertex per server
+// plus a non-blocking switch relay — with NIC capacities normalized to the
+// first server's NVLink units so rates compose with intra-server plans.
+// Shared by NewCluster and the derived-cluster constructors.
+func buildNICFabric(servers []*Topology, nicGBs float64) *graph.Graph {
+	unit := servers[0].LinkBandwidthGBs(graph.NVLink)
 	n := len(servers)
 	net := graph.New(n + 1)
 	sw := n
 	net.Labels[sw] = -1
 	for i := 0; i < n; i++ {
-		net.AddBiEdge(i, sw, c.NICGBs/unit, graph.Net)
+		net.AddBiEdge(i, sw, nicGBs/unit, graph.Net)
 	}
-	c.Net = net
-	return c, nil
+	return net
 }
 
 // Fingerprint returns a stable hash of everything that determines

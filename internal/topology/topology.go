@@ -220,43 +220,51 @@ func (t *Topology) RelayVertices() []int {
 // Induce returns the sub-topology visible to a job allocated the given
 // physical GPU IDs, mirroring Blink's runtime topology probe: only links
 // with both endpoints inside the allocation (plus relay vertices) remain.
+// Device IDs are resolved through DevIDs, so Induce composes with derived
+// topologies (WithoutDevice keeps the surviving physical IDs).
 func (t *Topology) Induce(devs []int) (*Topology, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("topology: empty allocation")
 	}
 	seen := map[int]bool{}
+	verts := make([]int, 0, len(devs))
 	for _, d := range devs {
-		if d < 0 || d >= t.NumGPUs {
-			return nil, fmt.Errorf("topology: device %d out of range [0,%d)", d, t.NumGPUs)
+		v, err := t.vertexOf(d)
+		if err != nil {
+			return nil, err
 		}
 		if seen[d] {
 			return nil, fmt.Errorf("topology: duplicate device %d", d)
 		}
 		seen[d] = true
+		verts = append(verts, v)
 	}
-	sorted := append([]int(nil), devs...)
-	sort.Ints(sorted)
+	sort.Ints(verts)
+	ids := make([]int, len(verts))
+	for i, v := range verts {
+		ids[i] = t.DevIDs[v]
+	}
 
-	keep := append([]int(nil), sorted...)
+	keep := append([]int(nil), verts...)
 	for v := t.NumGPUs; v < t.G.N; v++ {
 		keep = append(keep, v)
 	}
 	ng := t.G.InducedSubgraph(keep)
 
-	keepP := append([]int(nil), sorted...)
+	keepP := append([]int(nil), verts...)
 	for v := t.NumGPUs; v < t.P.N; v++ {
 		keepP = append(keepP, v)
 	}
 	np := t.P.InducedSubgraph(keepP)
 
 	nt := &Topology{
-		Name:    fmt.Sprintf("%s[%v]", t.Name, sorted),
+		Name:    fmt.Sprintf("%s[%v]", t.Name, ids),
 		Kind:    t.Kind,
 		Gen:     t.Gen,
-		NumGPUs: len(sorted),
+		NumGPUs: len(verts),
 		G:       ng,
 		P:       np,
-		DevIDs:  sorted,
+		DevIDs:  ids,
 	}
 	return nt, nil
 }

@@ -59,7 +59,7 @@ func TestPropertyRandomTopologies(t *testing.T) {
 		// Data-mode AllReduce vs the sequential reference.
 		floats := 32 + rng.Intn(2048)
 		chunk := int64(4 * (1 + rng.Intn(256)))
-		ranks := eng.Topo.NumGPUs
+		ranks := eng.Topo().NumGPUs
 		bufs := simgpu.NewBufferSet()
 		want := make([]float32, floats)
 		for v := 0; v < ranks; v++ {
@@ -86,9 +86,9 @@ func TestPropertyRandomTopologies(t *testing.T) {
 
 		// Packing invariants for every root, on the plane the engine
 		// actually schedules over.
-		g := eng.Topo.GPUGraph()
+		g := eng.Topo().GPUGraph()
 		if !eng.NVLinkConnected() {
-			g = eng.Topo.PCIeGraph()
+			g = eng.Topo().PCIeGraph()
 		}
 		for root := 0; root < ranks; root++ {
 			pk, err := eng.Packing(root)
@@ -97,6 +97,122 @@ func TestPropertyRandomTopologies(t *testing.T) {
 			}
 			if err := CheckPacking(g, pk); err != nil {
 				t.Fatalf("case %d (%q devs %v) root %d: %v", ci, spec, devs, root, err)
+			}
+		}
+	}
+}
+
+// TestPropertyDerivedTopologies is the randomized cross-check for the
+// reconfiguration subsystem: starting from a DGX-1V (or a random custom
+// fabric), apply a random sequence of WithoutLink / WithLinkUnits /
+// WithoutDevice derivations. Every derivation must either produce a valid
+// topology whose engine packs schedule-able trees (packing invariants hold
+// on the plane the engine schedules over, and a data-mode AllReduce stays
+// elementwise-exact after Reconfigure) or fail with a clean error — never
+// panic, never a silently broken schedule.
+func TestPropertyDerivedTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const cases = 25
+	for ci := 0; ci < cases; ci++ {
+		var machine *topology.Topology
+		var err error
+		if ci%2 == 0 {
+			machine = topology.DGX1V()
+		} else {
+			machine, err = topology.Parse(randomConnectedSpec(rng, 4+rng.Intn(5)))
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+		}
+		devs := append([]int(nil), rng.Perm(machine.NumGPUs)...)
+		eng, err := collective.NewEngine(machine, devs, simgpu.Config{DataMode: true})
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+
+		// Random derivation sequence over the machine.
+		cur := machine
+		steps := 1 + rng.Intn(3)
+		for s := 0; s < steps; s++ {
+			a, b := rng.Intn(cur.NumGPUs), rng.Intn(cur.NumGPUs)
+			var derived *topology.Topology
+			switch rng.Intn(3) {
+			case 0:
+				derived, err = cur.WithoutLink(cur.DevIDs[a], cur.DevIDs[b%len(cur.DevIDs)])
+			case 1:
+				derived, err = cur.WithLinkUnits(cur.DevIDs[a], cur.DevIDs[b%len(cur.DevIDs)], 0.5)
+			default:
+				dead := cur.DevIDs[rng.Intn(len(cur.DevIDs))]
+				derived, err = cur.WithoutDevice(dead)
+				if err == nil {
+					// The allocation shrinks with the machine.
+					var keep []int
+					for _, d := range devs {
+						if d != dead {
+							keep = append(keep, d)
+						}
+					}
+					devs = keep
+				}
+			}
+			if err != nil {
+				continue // clean error (absent link, too few GPUs): fine
+			}
+			cur = derived
+		}
+		if len(devs) < 2 {
+			continue
+		}
+		if err := eng.Reconfigure(cur, devs); err != nil {
+			// A clean reconfiguration error must leave the engine usable.
+			runDataAllReduce(t, rng, eng, ci, "post-failed-reconfigure")
+			continue
+		}
+
+		runDataAllReduce(t, rng, eng, ci, "post-reconfigure")
+
+		g := eng.Topo().GPUGraph()
+		if !eng.NVLinkConnected() {
+			g = eng.Topo().PCIeGraph()
+		}
+		for root := 0; root < eng.Topo().NumGPUs; root++ {
+			pk, err := eng.Packing(root)
+			if err != nil {
+				t.Fatalf("case %d: packing root %d on %s: %v", ci, root, eng.Topo().Name, err)
+			}
+			if err := CheckPacking(g, pk); err != nil {
+				t.Fatalf("case %d root %d on %s: %v", ci, root, eng.Topo().Name, err)
+			}
+		}
+	}
+}
+
+// runDataAllReduce checks the elementwise-exact AllReduce postcondition on
+// the engine's current topology.
+func runDataAllReduce(t *testing.T, rng *rand.Rand, eng *collective.Engine, ci int, tag string) {
+	t.Helper()
+	ranks := eng.Topo().NumGPUs
+	floats := 32 + rng.Intn(1024)
+	bufs := simgpu.NewBufferSet()
+	want := make([]float32, floats)
+	for v := 0; v < ranks; v++ {
+		in := make([]float32, floats)
+		for i := range in {
+			in[i] = float32(rng.Intn(64))
+			want[i] += in[i]
+		}
+		bufs.SetBuffer(v, core.BufData, in)
+	}
+	if _, err := eng.Run(collective.Blink, collective.AllReduce, 0, int64(floats)*4,
+		collective.Options{DataMode: true, Buffers: bufs}); err != nil {
+		t.Fatalf("case %d (%s, %s): allreduce: %v", ci, tag, eng.Topo().Name, err)
+	}
+	for v := 0; v < ranks; v++ {
+		got := bufs.Buffer(v, core.BufAcc, floats)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d (%s, %s): rank %d float %d = %v, want %v",
+					ci, tag, eng.Topo().Name, v, i, got[i], want[i])
 			}
 		}
 	}
@@ -114,7 +230,7 @@ func TestCheckPackingRejectsBadPackings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := eng.Topo.GPUGraph()
+	g := eng.Topo().GPUGraph()
 	if err := CheckPacking(g, pk); err != nil {
 		t.Fatalf("valid packing rejected: %v", err)
 	}

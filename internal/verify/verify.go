@@ -128,7 +128,7 @@ func runCase(machine *topology.Topology, devs []int, backend collective.Backend,
 	}
 	f := eng.FabricFor(backend)
 	n := f.Graph.N // includes relay vertices on PCIe plane
-	ranks := eng.Topo.NumGPUs
+	ranks := eng.Topo().NumGPUs
 	bufs := simgpu.NewBufferSet()
 
 	switch op {
