@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench verify plancache cluster dataconc resilience resilience-smoke ci
+# Coverage floors (percent of statements) for the scheduling/runtime core.
+# Ratchets, not aspirations: raise them when coverage grows, never lower
+# them to make a build pass.
+COVER_FLOOR_COLLECTIVE ?= 80
+COVER_FLOOR_CORE ?= 78
+
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke ci
 
 all: build test
 
@@ -10,11 +16,31 @@ build:
 test:
 	$(GO) test ./...
 
-# Test suite under the race detector. The experiment/figure suites are
-# pure compute and very slow under -race, so target the public API plus
-# every package with concurrent or data-moving paths.
+# Test suite under the race detector, with shuffled test order so
+# accidental inter-test state dependencies surface instead of hiding
+# behind file order. The experiment/figure suites are pure compute and
+# very slow under -race, so target the public API plus every package with
+# concurrent or data-moving paths.
 race:
-	$(GO) test -race . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/... ./internal/trace/... ./internal/topology/...
+	$(GO) test -race -shuffle=on . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/... ./internal/trace/... ./internal/topology/...
+
+# Statement-coverage gate for the scheduling/runtime core packages.
+cover:
+	@set -e; \
+	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)"; do \
+		set -- $$spec; pkg=$$1; floor=$$2; \
+		out=$$($(GO) test -cover $$pkg) || { echo "$$out"; echo "tests of $$pkg failed"; exit 1; }; \
+		line=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%'); \
+		pct=$${line#coverage: }; pct=$${pct%\%}; \
+		echo "$$pkg: $$pct% (floor $$floor%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "coverage of $$pkg fell below the $$floor% floor"; exit 1; fi; \
+	done
+
+# Short native-fuzz smoke over the topology parser (the checked-in corpus
+# always runs as seed cases in `make test`; this adds mutation time).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s ./internal/topology
 
 vet:
 	$(GO) vet ./...
@@ -52,4 +78,13 @@ resilience:
 resilience-smoke:
 	$(GO) run ./cmd/blinkbench -resilience -o /dev/null
 
-ci: fmt-check vet build test race verify bench resilience-smoke
+async:
+	$(GO) run ./cmd/blinkbench -async -o BENCH_async.json
+
+# CI smoke for the async-stream bench; it exits non-zero if the overlapped
+# train step fails to beat the sequential one by 1.25x, gating merges on
+# the overlap actually working (see BENCH_async.json for the tracked run).
+async-smoke:
+	$(GO) run ./cmd/blinkbench -async -o /dev/null
+
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke

@@ -65,10 +65,12 @@ type CacheStats = collective.CacheStats
 type Option func(*commConfig)
 
 type commConfig struct {
-	sim      simgpu.Config
-	backend  Backend
-	cacheCap *int
-	cache    *PlanCache
+	sim         simgpu.Config
+	backend     Backend
+	cacheCap    *int
+	cache       *PlanCache
+	streams     int
+	asyncWindow int64
 }
 
 // WithBackend selects the default backend (BackendBlink if unset).
@@ -97,6 +99,18 @@ func WithPlanCacheCapacity(n int) Option {
 func WithPlanCache(pc *PlanCache) Option {
 	return func(c *commConfig) { c.cache = pc }
 }
+
+// WithStreams sets how many FIFO worker streams the communicator's async
+// collectives fan out over (default collective.DefaultAsyncStreams). Ops
+// submitted to one stream execute in submission order; ops on different
+// streams overlap, chunk-pipelined against each other — NCCL stream
+// semantics.
+func WithStreams(n int) Option { return func(c *commConfig) { c.streams = n } }
+
+// WithAsyncWindow bounds the bytes in flight across all async streams:
+// once exceeded, *Async submissions block until completions free space
+// (default collective.DefaultAsyncWindowBytes; negative for unbounded).
+func WithAsyncWindow(bytes int64) Option { return func(c *commConfig) { c.asyncWindow = bytes } }
 
 // PlanCache is a concurrency-safe LRU of compiled schedules, shareable
 // across communicators.
@@ -137,6 +151,7 @@ func NewComm(machine *Machine, devs []int, opts ...Option) (*Comm, error) {
 	} else if cfg.cacheCap != nil {
 		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
 	}
+	eng.ConfigureAsync(cfg.streams, cfg.asyncWindow)
 	return &Comm{eng: eng, backend: cfg.backend}, nil
 }
 
@@ -235,6 +250,84 @@ func (c *Comm) Scatter(root int, bytes int64) (Result, error) {
 func (c *Comm) HybridBroadcast(root int, bytes int64) (Result, error) {
 	res, _, err := c.eng.RunHybridBroadcast(root, bytes, collective.Options{})
 	return res, err
+}
+
+// Handle is the caller's reference to one in-flight async collective: wait
+// with Wait (or select on Done), peek failures with Err, watch
+// chunk-granular progress with Progress.
+type Handle = collective.Handle
+
+// ClusterHandle is the multi-server counterpart of Handle.
+type ClusterHandle = collective.ClusterHandle
+
+// AsyncOpt tunes one async submission.
+type AsyncOpt func(*asyncCfg)
+
+type asyncCfg struct {
+	stream int
+}
+
+// OnStream pins the submission to worker stream s (ops on one stream
+// execute FIFO, in submission order; out-of-range indices wrap). Without
+// it, submissions round-robin across the communicator's streams.
+func OnStream(s int) AsyncOpt { return func(a *asyncCfg) { a.stream = s } }
+
+// asyncStream resolves the stream an async call targets (-1 = auto).
+func asyncStream(opts []AsyncOpt) int {
+	a := asyncCfg{stream: -1}
+	for _, o := range opts {
+		o(&a)
+	}
+	return a.stream
+}
+
+// runAsync submits a collective to the communicator's stream scheduler.
+func (c *Comm) runAsync(op collective.Op, root int, bytes int64, opts []AsyncOpt) *Handle {
+	return c.eng.RunAsync(c.backend, op, root, bytes, collective.Options{}, asyncStream(opts))
+}
+
+// BroadcastAsync is the nonblocking Broadcast: it submits the collective
+// to one of the communicator's worker streams and returns immediately
+// (blocking only when the in-flight byte window is full). A training step
+// uses the async variants to overlap gradient communication with backward
+// compute and Wait on the handles before the optimizer step.
+//
+// The topology state is pinned at submission: work in flight completes on
+// its snapshot even if the communicator is Reconfigured mid-op, while
+// every later submission sees the post-fault state.
+func (c *Comm) BroadcastAsync(root int, bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.Broadcast, root, bytes, opts)
+}
+
+// AllReduceAsync is the nonblocking AllReduce (see BroadcastAsync for the
+// shared async semantics).
+func (c *Comm) AllReduceAsync(bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.AllReduce, 0, bytes, opts)
+}
+
+// ReduceAsync is the nonblocking Reduce.
+func (c *Comm) ReduceAsync(root int, bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.Reduce, root, bytes, opts)
+}
+
+// GatherAsync is the nonblocking Gather.
+func (c *Comm) GatherAsync(root int, bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.Gather, root, bytes, opts)
+}
+
+// ScatterAsync is the nonblocking Scatter.
+func (c *Comm) ScatterAsync(root int, bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.Scatter, root, bytes, opts)
+}
+
+// AllGatherAsync is the nonblocking AllGather.
+func (c *Comm) AllGatherAsync(bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.AllGather, 0, bytes, opts)
+}
+
+// ReduceScatterAsync is the nonblocking ReduceScatter.
+func (c *Comm) ReduceScatterAsync(bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.ReduceScatter, 0, bytes, opts)
 }
 
 // dataSnapshot pins the engine's topology state for one data-mode call, so
@@ -521,6 +614,7 @@ func NewClusterComm(cluster *Cluster, opts ...Option) (*ClusterComm, error) {
 	} else if cfg.cacheCap != nil {
 		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
 	}
+	eng.ConfigureAsync(cfg.streams, cfg.asyncWindow)
 	return &ClusterComm{eng: eng, backend: cfg.backend}, nil
 }
 
@@ -563,6 +657,23 @@ func (c *ClusterComm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 func (c *ClusterComm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	outs, _, err := c.eng.BroadcastData(c.backend, root, data, collective.Options{})
 	return outs, err
+}
+
+// AllReduceAsync is the nonblocking cluster AllReduce: submitted to one of
+// the communicator's worker streams, resolved through the returned handle
+// (which carries the three-phase timing breakdown under the Blink
+// backend). Semantics match Comm.BroadcastAsync: FIFO per stream,
+// backpressure on the in-flight byte window, and the cluster state pinned
+// at submission, so in-flight work completes on its snapshot while later
+// submissions see a post-fault cluster.
+func (c *ClusterComm) AllReduceAsync(bytes int64, opts ...AsyncOpt) *ClusterHandle {
+	return c.eng.RunAsync(c.backend, collective.AllReduce, 0, bytes, collective.Options{}, asyncStream(opts))
+}
+
+// BroadcastAsync is the nonblocking cluster Broadcast from global rank
+// root.
+func (c *ClusterComm) BroadcastAsync(root int, bytes int64, opts ...AsyncOpt) *ClusterHandle {
+	return c.eng.RunAsync(c.backend, collective.Broadcast, root, bytes, collective.Options{}, asyncStream(opts))
 }
 
 // ReconfigureWithoutServer shrinks the communicator after losing a whole

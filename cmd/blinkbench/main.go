@@ -10,6 +10,7 @@
 //	blinkbench -cluster -o BENCH_cluster.json      # three-phase vs flat ring
 //	blinkbench -dataconc -o BENCH_dataConcurrency.json  # data-mode caller scaling
 //	blinkbench -resilience -o BENCH_resilience.json  # training across mid-run faults
+//	blinkbench -async -o BENCH_async.json            # async-stream overlap + dispatch throughput
 package main
 
 import (
@@ -27,7 +28,8 @@ func main() {
 	clusterBench := flag.Bool("cluster", false, "benchmark multi-server three-phase vs flat-ring collectives and emit JSON")
 	dataconc := flag.Bool("dataconc", false, "benchmark data-mode throughput vs concurrent caller count and emit JSON")
 	resilience := flag.Bool("resilience", false, "benchmark training runs surviving mid-run topology faults and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience ('-' = stdout)")
+	async := flag.Bool("async", false, "benchmark async-stream overlap and dispatch throughput and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -44,6 +46,10 @@ func main() {
 	}
 	if *resilience {
 		resilienceMain(*out)
+		return
+	}
+	if *async {
+		asyncMain(*out)
 		return
 	}
 

@@ -1,0 +1,217 @@
+package blink
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blink/internal/graph"
+)
+
+// confFabric is one row of the conformance matrix: a machine in pristine
+// or derived-degraded condition plus the allocation the suite probes.
+type confFabric struct {
+	name    string
+	machine *Machine
+	devs    []int
+	// skip, when non-empty, documents why this cell of the matrix cannot
+	// exist (e.g. the DGX-2's NVSwitch fabric is uniform by construction
+	// and the simulator has no degraded derivation for it).
+	skip string
+}
+
+// firstNVLink returns one NVLink connection of the machine's GPU plane
+// (lowest endpoints) and its capacity, for deriving degraded variants.
+func firstNVLink(t *testing.T, m *Machine) (a, b int, cap float64) {
+	t.Helper()
+	a, b = -1, -1
+	for _, e := range m.G.Edges {
+		if e.Type != graph.NVLink || e.From >= e.To {
+			continue
+		}
+		if a < 0 || e.From < a || (e.From == a && e.To < b) {
+			a, b, cap = e.From, e.To, e.Cap
+		}
+	}
+	if a < 0 {
+		t.Fatalf("%s has no NVLink edges", m.Name)
+	}
+	return a, b, cap
+}
+
+// conformanceFabrics builds the machine axis of the matrix: DGX-1P, DGX-1V
+// and DGX-2, each pristine and (where the simulator supports derivation)
+// with one degraded topology derived from it.
+func conformanceFabrics(t *testing.T) []confFabric {
+	t.Helper()
+	full8 := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	// DGX-1P: single-unit links, so degrade by losing one connection
+	// outright (the hybrid cube-mesh stays connected).
+	p := DGX1P()
+	pa, pb, _ := firstNVLink(t, p)
+	pDeg, err := p.WithoutLink(pa, pb)
+	if err != nil {
+		t.Fatalf("derive degraded DGX-1P: %v", err)
+	}
+
+	// DGX-1V: doubled links, so degrade by halving one connection's units
+	// (a partially failed NVLink brick).
+	v := DGX1V()
+	va, vb, vcap := firstNVLink(t, v)
+	vDeg, err := v.WithLinkUnits(va, vb, vcap/2)
+	if err != nil {
+		t.Fatalf("derive degraded DGX-1V: %v", err)
+	}
+
+	return []confFabric{
+		{name: "dgx1p/pristine", machine: p, devs: full8},
+		{name: fmt.Sprintf("dgx1p/degraded-nolink%d-%d", pa, pb), machine: pDeg, devs: full8},
+		{name: "dgx1v/pristine", machine: v, devs: full8},
+		{name: fmt.Sprintf("dgx1v/degraded-halflink%d-%d", va, vb), machine: vDeg, devs: full8},
+		{name: "dgx1v/degraded-frag", machine: vDeg, devs: []int{1, 4, 5, 6, 7}},
+		{name: "dgx2/pristine", machine: DGX2()},
+		{name: "dgx2/degraded", skip: "the DGX-2 runtime models a uniform " +
+			"non-blocking NVSwitch; no degraded derivation exists for switch " +
+			"fabrics (Engine.Reconfigure rejects them for the same reason)"},
+	}
+}
+
+// confOp is one column of the matrix: a data-mode collective verified
+// elementwise against its sequential reference.
+type confOp struct {
+	name string
+	// needsRoot marks rooted collectives (exercised at root 0 and the
+	// highest rank); rootless ops run once per fabric.
+	needsRoot bool
+	run       func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand)
+}
+
+// shardFloats is the per-rank payload of the sharded ops; the dense ops
+// move shardFloats*ranks floats so both shapes exercise multi-chunk plans.
+const shardFloats = 96
+
+func confOps() []confOp {
+	return []confOp{
+		{name: "Broadcast", needsRoot: true, run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			src := make([]float32, shardFloats*ranks)
+			for i := range src {
+				src[i] = float32(rng.Intn(512))
+			}
+			outs, err := comm.BroadcastData(root, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, out := range outs {
+				assertEq(t, fmt.Sprintf("rank %d", r), out, src)
+			}
+		}},
+		{name: "AllReduce", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			inputs, sum := randInputs(rng, ranks, shardFloats*ranks)
+			outs, err := comm.AllReduceData(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, out := range outs {
+				assertEq(t, fmt.Sprintf("rank %d", r), out, sum)
+			}
+		}},
+		{name: "Reduce", needsRoot: true, run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			inputs, sum := randInputs(rng, ranks, shardFloats*ranks)
+			got, err := comm.ReduceData(root, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEq(t, "root", got, sum)
+		}},
+		{name: "Gather", needsRoot: true, run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			shards, _ := randInputs(rng, ranks, shardFloats)
+			var concat []float32
+			for _, s := range shards {
+				concat = append(concat, s...)
+			}
+			got, err := comm.GatherData(root, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEq(t, "root", got, concat)
+		}},
+		{name: "Scatter", needsRoot: true, run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			shards, _ := randInputs(rng, ranks, shardFloats)
+			var concat []float32
+			for _, s := range shards {
+				concat = append(concat, s...)
+			}
+			outs, err := comm.ScatterData(root, concat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, out := range outs {
+				assertEq(t, fmt.Sprintf("rank %d", r), out, shards[r])
+			}
+		}},
+		{name: "AllGather", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			shards, _ := randInputs(rng, ranks, shardFloats)
+			var concat []float32
+			for _, s := range shards {
+				concat = append(concat, s...)
+			}
+			outs, err := comm.AllGatherData(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, out := range outs {
+				assertEq(t, fmt.Sprintf("rank %d", r), out, concat)
+			}
+		}},
+		{name: "ReduceScatter", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			inputs, sum := randInputs(rng, ranks, shardFloats*ranks)
+			outs, err := comm.ReduceScatterData(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, out := range outs {
+				assertEq(t, fmt.Sprintf("rank %d", r), out, sum[r*shardFloats:(r+1)*shardFloats])
+			}
+		}},
+	}
+}
+
+// TestDataModeConformance is the cross-backend conformance matrix: all
+// seven data-mode collectives x {DGX-1P, DGX-1V, DGX-2} x {pristine, one
+// derived degraded topology}, every cell verified elementwise against a
+// sequential reference. Rooted ops run at rank 0 and the highest rank, so
+// relay-root schedules are covered too. One table drives the whole
+// surface; adding a fabric or an op extends every combination.
+func TestDataModeConformance(t *testing.T) {
+	for _, f := range conformanceFabrics(t) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			if f.skip != "" {
+				t.Skip(f.skip)
+			}
+			comm, err := NewComm(f.machine, f.devs, WithDataMode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranks := comm.Size()
+			for _, op := range confOps() {
+				op := op
+				roots := []int{0}
+				if op.needsRoot {
+					roots = []int{0, ranks - 1}
+				}
+				for _, root := range roots {
+					name := op.name
+					if op.needsRoot {
+						name = fmt.Sprintf("%s/root%d", op.name, root)
+					}
+					t.Run(name, func(t *testing.T) {
+						rng := rand.New(rand.NewSource(int64(ranks*1000 + root)))
+						op.run(t, comm, ranks, root, rng)
+					})
+				}
+			}
+		})
+	}
+}

@@ -6,26 +6,6 @@ import (
 	"testing"
 )
 
-// dataMachines are the fabrics the functional (data-mode) suite covers:
-// both DGX-1 generations (full machines and a fragmented allocation) and
-// the switch-attached DGX-2.
-func dataMachines() []struct {
-	name    string
-	machine *Machine
-	devs    []int
-} {
-	return []struct {
-		name    string
-		machine *Machine
-		devs    []int
-	}{
-		{"dgx1p-full", DGX1P(), []int{0, 1, 2, 3, 4, 5, 6, 7}},
-		{"dgx1v-full", DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}},
-		{"dgx1v-frag", DGX1V(), []int{1, 4, 5, 6, 7}},
-		{"dgx2", DGX2(), nil},
-	}
-}
-
 // randInputs builds one integer-valued buffer of n floats per rank
 // (integer values keep float32 summation exact in any order) plus the
 // sequential elementwise-sum reference.
@@ -54,100 +34,9 @@ func assertEq(t *testing.T, ctx string, got, want []float32) {
 	}
 }
 
-// TestDataModeOpsExact asserts elementwise-exact results against a
-// sequential reference for all seven collectives, on every machine in the
-// suite, for root 0 and a non-zero root.
-func TestDataModeOpsExact(t *testing.T) {
-	for _, m := range dataMachines() {
-		m := m
-		t.Run(m.name, func(t *testing.T) {
-			comm, err := NewComm(m.machine, m.devs, WithDataMode())
-			if err != nil {
-				t.Fatal(err)
-			}
-			ranks := comm.Size()
-			rng := rand.New(rand.NewSource(int64(ranks)))
-			const shard = 96 // floats per rank for the sharded ops
-			full := shard * ranks
-
-			for _, root := range []int{0, ranks - 1} {
-				ctx := fmt.Sprintf("%s root %d", m.name, root)
-
-				// Broadcast: every rank receives root's buffer.
-				src := make([]float32, full)
-				for i := range src {
-					src[i] = float32(rng.Intn(512))
-				}
-				outs, err := comm.BroadcastData(root, src)
-				if err != nil {
-					t.Fatalf("%s broadcast: %v", ctx, err)
-				}
-				for r, out := range outs {
-					assertEq(t, fmt.Sprintf("%s broadcast rank %d", ctx, r), out, src)
-				}
-
-				// AllReduce: every rank holds the elementwise sum.
-				inputs, sum := randInputs(rng, ranks, full)
-				outs, err = comm.AllReduceData(inputs)
-				if err != nil {
-					t.Fatalf("%s allreduce: %v", ctx, err)
-				}
-				for r, out := range outs {
-					assertEq(t, fmt.Sprintf("%s allreduce rank %d", ctx, r), out, sum)
-				}
-
-				// Reduce: root holds the elementwise sum.
-				inputs, sum = randInputs(rng, ranks, full)
-				got, err := comm.ReduceData(root, inputs)
-				if err != nil {
-					t.Fatalf("%s reduce: %v", ctx, err)
-				}
-				assertEq(t, ctx+" reduce", got, sum)
-
-				// Gather: root holds the rank-order concatenation.
-				shards, _ := randInputs(rng, ranks, shard)
-				var concat []float32
-				for _, s := range shards {
-					concat = append(concat, s...)
-				}
-				got, err = comm.GatherData(root, shards)
-				if err != nil {
-					t.Fatalf("%s gather: %v", ctx, err)
-				}
-				assertEq(t, ctx+" gather", got, concat)
-
-				// Scatter: rank v receives shard v of root's buffer.
-				outs, err = comm.ScatterData(root, concat)
-				if err != nil {
-					t.Fatalf("%s scatter: %v", ctx, err)
-				}
-				for r, out := range outs {
-					assertEq(t, fmt.Sprintf("%s scatter rank %d", ctx, r), out, shards[r])
-				}
-
-				// AllGather: every rank holds the concatenation.
-				outs, err = comm.AllGatherData(shards)
-				if err != nil {
-					t.Fatalf("%s allgather: %v", ctx, err)
-				}
-				for r, out := range outs {
-					assertEq(t, fmt.Sprintf("%s allgather rank %d", ctx, r), out, concat)
-				}
-
-				// ReduceScatter: rank v holds shard v of the sum.
-				inputs, sum = randInputs(rng, ranks, full)
-				outs, err = comm.ReduceScatterData(inputs)
-				if err != nil {
-					t.Fatalf("%s reducescatter: %v", ctx, err)
-				}
-				for r, out := range outs {
-					assertEq(t, fmt.Sprintf("%s reducescatter rank %d", ctx, r),
-						out, sum[r*shard:(r+1)*shard])
-				}
-			}
-		})
-	}
-}
+// The per-op exactness coverage that used to live here is now the
+// table-driven cross-backend conformance matrix in conformance_test.go
+// (all seven ops x three machines x pristine/degraded topologies).
 
 // TestDataModeOpsWarmReplay re-runs data collectives of one shape and
 // checks the warm (cached-plan) replays stay exact with fresh payloads.

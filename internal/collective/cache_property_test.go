@@ -1,0 +1,134 @@
+package collective
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// propKey builds a distinct PlanKey under a fingerprint.
+func propKey(fp string, i int) PlanKey {
+	return PlanKey{Fingerprint: fp, Op: AllReduce, Bytes: int64(4 * (i + 1)), ChunkBytes: 4}
+}
+
+// TestPlanCacheProperties hammers one PlanCache with concurrent Put / Get /
+// InvalidateFingerprint traffic and checks the cache's contracts hold
+// under any interleaving:
+//
+//  1. counter consistency — every Get is counted exactly once, so
+//     hits+misses equals the number of Gets issued;
+//  2. capacity — the number of resident plans never exceeds the LRU bound,
+//     sampled concurrently and at the end;
+//  3. no resurrection — once a fingerprint is invalidated after its last
+//     Put, no plan under it is ever retrievable again, no matter how the
+//     earlier Puts, Gets and Invalidates interleaved.
+func TestPlanCacheProperties(t *testing.T) {
+	const (
+		capacity   = 32
+		goroutines = 8
+		iters      = 2000
+		liveFPs    = 3
+		keysPerFP  = 24 // liveFPs*keysPerFP > capacity, so the LRU evicts
+	)
+	cache := NewPlanCache(capacity)
+	value := &CachedPlan{Strategy: "prop"}
+
+	var gets atomic.Uint64
+	var wg sync.WaitGroup
+
+	fp := func(i int) string { return fmt.Sprintf("live-%d", i%liveFPs) }
+
+	// Phase 1: mixed traffic over live fingerprints plus a doomed one,
+	// with a dedicated goroutine invalidating "dead" continuously — the
+	// interleaving the no-resurrection guarantee has to survive.
+	stopInvalidate := make(chan struct{})
+	invalidatorDone := make(chan struct{})
+	go func() {
+		defer close(invalidatorDone)
+		for {
+			select {
+			case <-stopInvalidate:
+				return
+			default:
+				cache.InvalidateFingerprint("dead")
+				// Yield so the invalidator interleaves with the traffic
+				// instead of monopolizing the lock on small GOMAXPROCS.
+				runtime.Gosched()
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				k := propKey(fp(rng.Intn(liveFPs)), rng.Intn(keysPerFP))
+				switch rng.Intn(4) {
+				case 0:
+					cache.Put(k, value)
+				case 1:
+					cache.Put(propKey("dead", rng.Intn(keysPerFP)), value)
+				case 2:
+					cache.Get(k)
+					gets.Add(1)
+				case 3:
+					if n := cache.Len(); n > capacity {
+						t.Errorf("resident plans %d exceed capacity %d", n, capacity)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopInvalidate)
+	<-invalidatorDone
+	if t.Failed() {
+		return
+	}
+
+	// The last Put of "dead" has happened; invalidate once more, strictly
+	// after. From here on the fingerprint must stay gone.
+	cache.InvalidateFingerprint("dead")
+
+	// Phase 2: live-only traffic racing the dead-fingerprint probes.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < iters; i++ {
+				if rng.Intn(2) == 0 {
+					cache.Put(propKey(fp(rng.Intn(liveFPs)), rng.Intn(keysPerFP)), value)
+				} else {
+					cache.Get(propKey(fp(rng.Intn(liveFPs)), rng.Intn(keysPerFP)))
+					gets.Add(1)
+				}
+				if cp, ok := cache.Get(propKey("dead", rng.Intn(keysPerFP))); ok {
+					t.Errorf("dead-fingerprint plan resurrected: %+v", cp)
+					return
+				}
+				gets.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := cache.Stats()
+	if st.Hits+st.Misses != gets.Load() {
+		t.Fatalf("hits %d + misses %d != %d Gets issued", st.Hits, st.Misses, gets.Load())
+	}
+	if st.Entries > capacity || cache.Len() > capacity {
+		t.Fatalf("resident plans %d exceed capacity %d", st.Entries, capacity)
+	}
+	if st.Entries < 0 || st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("degenerate traffic: %+v (property run never exercised both outcomes)", st)
+	}
+}

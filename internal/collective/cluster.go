@@ -37,6 +37,9 @@ type ClusterEngine struct {
 	cfgKey simgpu.Config
 	id     uint64
 	cache  *PlanCache
+
+	// async is the lazily started stream scheduler behind RunAsync.
+	async asyncRuntime
 }
 
 // clusterState is everything a ClusterEngine derives from its cluster
@@ -273,13 +276,47 @@ func (p *ClusterFrozenPlan) Replay() (ClusterTiming, error) { return p.ReplayDat
 // server), the exchange closure, the NIC plan, and every phase-3 plan. A
 // nil ctx degrades to timing-only execution.
 func (p *ClusterFrozenPlan) ReplayData(ctx *ClusterBuffers) (ClusterTiming, error) {
+	return p.ReplayDataHooked(ctx, nil)
+}
+
+// NumOps is the schedule's total op count across every phase (or the flat
+// ring's), the denominator of a hooked replay's progress.
+func (p *ClusterFrozenPlan) NumOps() int {
+	if p.flat != nil {
+		return p.flat.NumOps()
+	}
+	n := 0
+	for _, fp := range p.phase1 {
+		n += fp.NumOps()
+	}
+	if p.phase2 != nil {
+		n += p.phase2.NumOps()
+	}
+	for _, fp := range p.phase3 {
+		n += fp.NumOps()
+	}
+	return n
+}
+
+// ReplayDataHooked is ReplayData with a chunk-granular progress hook that
+// spans all three phases: done counts ops completed across the per-server
+// plans, the NIC exchange plan and the broadcast plans, against the
+// schedule-wide total.
+func (p *ClusterFrozenPlan) ReplayDataHooked(ctx *ClusterBuffers, hook core.ReplayHook) (ClusterTiming, error) {
 	var t ClusterTiming
+	total := 0
+	base := 0
+	var sub core.ReplayHook
+	if hook != nil {
+		total = p.NumOps()
+		sub = func(done, _ int) { hook(base+done, total) }
+	}
 	if p.flat != nil {
 		var fb *simgpu.BufferSet
 		if ctx != nil {
 			fb = ctx.Flat
 		}
-		r, err := p.flat.ReplayData(fb)
+		r, err := p.flat.ReplayDataHooked(fb, sub)
 		if err != nil {
 			return t, err
 		}
@@ -293,10 +330,11 @@ func (p *ClusterFrozenPlan) ReplayData(ctx *ClusterBuffers) (ClusterTiming, erro
 		return ctx.Servers[si]
 	}
 	for si, fp := range p.phase1 {
-		r, err := fp.ReplayData(serverBuf(si))
+		r, err := fp.ReplayDataHooked(serverBuf(si), sub)
 		if err != nil {
 			return t, err
 		}
+		base += fp.NumOps()
 		if r.Makespan > t.Phase1 {
 			t.Phase1 = r.Makespan
 		}
@@ -305,17 +343,19 @@ func (p *ClusterFrozenPlan) ReplayData(ctx *ClusterBuffers) (ClusterTiming, erro
 		p.exchange(ctx.Servers)
 	}
 	if p.phase2 != nil {
-		r, err := p.phase2.Replay()
+		r, err := p.phase2.ReplayDataHooked(nil, sub)
 		if err != nil {
 			return t, err
 		}
+		base += p.phase2.NumOps()
 		t.Phase2 = r.Makespan
 	}
 	for si, fp := range p.phase3 {
-		r, err := fp.ReplayData(serverBuf(si))
+		r, err := fp.ReplayDataHooked(serverBuf(si), sub)
 		if err != nil {
 			return t, err
 		}
+		base += fp.NumOps()
 		if r.Makespan > t.Phase3 {
 			t.Phase3 = r.Makespan
 		}
@@ -348,12 +388,18 @@ func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Option
 // snapshot, so a concurrent Reconfigure never mixes cluster geometries
 // within a call.
 func (e *ClusterEngine) runCounted(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers) (ClusterResult, bool, error) {
+	return e.runCountedHooked(st, b, op, root, bytes, opts, ctx, nil)
+}
+
+// runCountedHooked is runCounted with an optional chunk-granular progress
+// hook threaded through every phase replay (see Engine.runCountedHooked).
+func (e *ClusterEngine) runCountedHooked(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers, hook core.ReplayHook) (ClusterResult, bool, error) {
 	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
 		return ClusterResult{}, false, err
 	}
 	plan := cp.ClusterPlan
-	t, err := plan.ReplayData(ctx)
+	t, err := plan.ReplayDataHooked(ctx, hook)
 	if err != nil {
 		return ClusterResult{}, hit, err
 	}

@@ -170,6 +170,9 @@ type Engine struct {
 	// cache holds compiled schedules; replaceable via SetPlanCache so many
 	// engines can share one cache.
 	cache *PlanCache
+
+	// async is the lazily started stream scheduler behind RunAsync.
+	async asyncRuntime
 }
 
 // engineIDs hands every engine a distinct nonzero identity.
@@ -436,11 +439,18 @@ func (s Snapshot) Run(b Backend, op Op, root int, bytes int64, opts Options) (Re
 // dispatch runs against one state snapshot, so a concurrent Reconfigure
 // never mixes pre- and post-fault scheduling state within a call.
 func (e *Engine) runCounted(st *engineState, b Backend, op Op, root int, bytes int64, opts Options) (Result, bool, error) {
+	return e.runCountedHooked(st, b, op, root, bytes, opts, nil)
+}
+
+// runCountedHooked is runCounted with an optional chunk-granular progress
+// hook threaded into the frozen plan's replay (nil for synchronous calls;
+// async handles use it to publish progress and yield between chunks).
+func (e *Engine) runCountedHooked(st *engineState, b Backend, op Op, root int, bytes int64, opts Options, hook core.ReplayHook) (Result, bool, error) {
 	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
 		return Result{}, false, err
 	}
-	res, err := cp.Plan.ReplayData(opts.Buffers)
+	res, err := cp.Plan.ReplayDataHooked(opts.Buffers, hook)
 	if err != nil {
 		return Result{}, hit, err
 	}

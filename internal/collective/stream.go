@@ -1,0 +1,366 @@
+package collective
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Async stream defaults: two worker streams (the CUDA default of issuing
+// collectives on a comm stream plus a high-priority stream) and a 1 GiB
+// in-flight byte window before submissions block.
+const (
+	DefaultAsyncStreams     = 2
+	DefaultAsyncWindowBytes = 1 << 30
+)
+
+// yieldEvery is how many completed chunks an async replay processes between
+// cooperative yields: frequent enough that replays on concurrent streams
+// interleave chunk-by-chunk even on few cores, rare enough that the yield
+// cost disappears next to the per-chunk scheduling work.
+const yieldEvery = 64
+
+// Handle is the caller's reference to one in-flight async collective,
+// returned by the *Async entry points. Exactly one of (result, error)
+// becomes available when the op resolves; handles are safe for concurrent
+// use by any number of goroutines.
+type Handle struct {
+	done chan struct{}
+	res  Result
+	err  error
+	hit  bool
+
+	chunksDone  atomic.Int64
+	chunksTotal atomic.Int64
+}
+
+func newHandle() *Handle { return &Handle{done: make(chan struct{})} }
+
+// complete publishes the op's outcome and releases every waiter. The
+// result fields are written strictly before the channel close, so waiters
+// reading them after Done()/Wait() never race.
+func (h *Handle) complete(res Result, hit bool, err error) {
+	h.res, h.hit, h.err = res, hit, err
+	close(h.done)
+}
+
+// Wait blocks until the collective resolves and returns its result. It may
+// be called any number of times, from any goroutine; every call returns
+// the same outcome.
+func (h *Handle) Wait() (Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// Done returns a channel that is closed when the collective resolves —
+// the select-friendly form of Wait.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err peeks at the handle without blocking: nil while the op is still in
+// flight or if it succeeded, the terminal error once it has failed.
+func (h *Handle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// CacheHit reports whether the dispatch replayed a cached plan (valid
+// after the handle resolves; false while in flight).
+func (h *Handle) CacheHit() bool {
+	select {
+	case <-h.done:
+		return h.hit
+	default:
+		return false
+	}
+}
+
+// Progress returns the chunk-granular replay progress: ops (pipelined
+// chunk transfers and reductions) completed so far and the schedule total.
+// Total is 0 until the plan is compiled and its replay begins.
+func (h *Handle) Progress() (done, total int64) {
+	return h.chunksDone.Load(), h.chunksTotal.Load()
+}
+
+// hook returns the ReplayHook an async dispatch runs under: it publishes
+// chunk progress on the handle and yields the worker goroutine every
+// yieldEvery chunks, so replays in flight on different streams interleave
+// chunk-by-chunk instead of monopolizing a core each.
+func (h *Handle) hook() func(done, total int) {
+	return func(done, total int) {
+		h.chunksTotal.Store(int64(total))
+		h.chunksDone.Store(int64(done))
+		if done%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ClusterHandle is the multi-server counterpart of Handle, resolving to a
+// ClusterResult (with the three-phase timing breakdown under the Blink
+// backend).
+type ClusterHandle struct {
+	done chan struct{}
+	res  ClusterResult
+	err  error
+	hit  bool
+
+	chunksDone  atomic.Int64
+	chunksTotal atomic.Int64
+}
+
+func newClusterHandle() *ClusterHandle { return &ClusterHandle{done: make(chan struct{})} }
+
+func (h *ClusterHandle) complete(res ClusterResult, hit bool, err error) {
+	h.res, h.hit, h.err = res, hit, err
+	close(h.done)
+}
+
+// Wait blocks until the cluster collective resolves and returns its result.
+func (h *ClusterHandle) Wait() (ClusterResult, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// Done returns a channel closed when the collective resolves.
+func (h *ClusterHandle) Done() <-chan struct{} { return h.done }
+
+// Err peeks without blocking: nil while in flight or on success.
+func (h *ClusterHandle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// CacheHit reports whether the dispatch replayed a cached plan (valid
+// after the handle resolves).
+func (h *ClusterHandle) CacheHit() bool {
+	select {
+	case <-h.done:
+		return h.hit
+	default:
+		return false
+	}
+}
+
+// Progress returns chunk-granular replay progress across all phases.
+func (h *ClusterHandle) Progress() (done, total int64) {
+	return h.chunksDone.Load(), h.chunksTotal.Load()
+}
+
+func (h *ClusterHandle) hook() func(done, total int) {
+	return func(done, total int) {
+		h.chunksTotal.Store(int64(total))
+		h.chunksDone.Store(int64(done))
+		if done%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// streamTask is one queued async dispatch.
+type streamTask struct {
+	bytes int64
+	run   func()
+}
+
+// streamQueue is one FIFO worker stream. Its worker goroutine is
+// ephemeral: spawned when the first task arrives, exits when the queue
+// drains, so an idle communicator holds no goroutines at all (and tests
+// can assert goroutine counts settle after the last handle resolves).
+type streamQueue struct {
+	tasks   []streamTask
+	running bool
+}
+
+// streamScheduler dispatches async collectives onto a bounded set of
+// worker streams with NCCL-stream semantics: strict FIFO ordering within a
+// stream, free overlap across streams (each stream is its own goroutine,
+// and replays yield between chunks, so in-flight ops pipeline
+// chunk-by-chunk). Submissions apply backpressure: when the bytes in
+// flight across all streams exceed the window, submit blocks until
+// completions free space. One op larger than the whole window is still
+// admitted — alone — so oversized payloads make progress instead of
+// deadlocking.
+type streamScheduler struct {
+	mu       sync.Mutex
+	space    sync.Cond // signaled when inflight bytes drop
+	streams  []*streamQueue
+	inflight int64
+	window   int64 // <= 0: unbounded
+	next     int   // round-robin cursor for auto stream assignment
+}
+
+func newStreamScheduler(streams int, windowBytes int64) *streamScheduler {
+	if streams < 1 {
+		streams = 1
+	}
+	s := &streamScheduler{window: windowBytes}
+	s.space.L = &s.mu
+	for i := 0; i < streams; i++ {
+		s.streams = append(s.streams, &streamQueue{})
+	}
+	return s
+}
+
+// submit enqueues run on a stream and returns the stream it landed on.
+// stream < 0 round-robins across the scheduler's streams; out-of-range
+// indices wrap, so callers can use any dense numbering. submit blocks
+// while the in-flight byte window is full.
+func (s *streamScheduler) submit(stream int, bytes int64, run func()) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stream < 0 {
+		stream = s.next
+		s.next = (s.next + 1) % len(s.streams)
+	} else {
+		stream %= len(s.streams)
+	}
+	for s.window > 0 && s.inflight > 0 && s.inflight+bytes > s.window {
+		s.space.Wait()
+	}
+	s.inflight += bytes
+	q := s.streams[stream]
+	q.tasks = append(q.tasks, streamTask{bytes: bytes, run: run})
+	if !q.running {
+		q.running = true
+		go s.drain(q)
+	}
+	return stream
+}
+
+// drain is the stream's worker loop: pop-run-release until the queue is
+// empty, then exit. FIFO is preserved because at most one drain runs per
+// queue at a time.
+func (s *streamScheduler) drain(q *streamQueue) {
+	for {
+		s.mu.Lock()
+		if len(q.tasks) == 0 {
+			q.running = false
+			s.mu.Unlock()
+			return
+		}
+		t := q.tasks[0]
+		q.tasks = q.tasks[1:]
+		s.mu.Unlock()
+
+		t.run()
+
+		s.mu.Lock()
+		s.inflight -= t.bytes
+		s.space.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// asyncRuntime is the lazily built async state an Engine or ClusterEngine
+// carries: configuration plus the scheduler, created on first use so
+// communicators that never go async pay nothing.
+type asyncRuntime struct {
+	mu      sync.Mutex
+	streams int
+	window  int64
+	sched   *streamScheduler
+}
+
+// configure sets the stream count and in-flight window (zero keeps the
+// current/default value). It applies to the next scheduler start; once
+// async ops have been issued the scheduler is live and the call is a no-op
+// for it (streams are a construction-time choice, as in NCCL).
+func (a *asyncRuntime) configure(streams int, windowBytes int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if streams > 0 {
+		a.streams = streams
+	}
+	if windowBytes != 0 {
+		a.window = windowBytes
+	}
+}
+
+// scheduler returns the live scheduler, starting it on first use.
+func (a *asyncRuntime) scheduler() *streamScheduler {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sched == nil {
+		streams, window := a.streams, a.window
+		if streams <= 0 {
+			streams = DefaultAsyncStreams
+		}
+		if window == 0 {
+			window = DefaultAsyncWindowBytes
+		}
+		a.sched = newStreamScheduler(streams, window)
+	}
+	return a.sched
+}
+
+// ConfigureAsync tunes the engine's async stream layer before first use:
+// streams is the number of FIFO worker streams (DefaultAsyncStreams if 0),
+// windowBytes the in-flight byte window before submissions block
+// (DefaultAsyncWindowBytes if 0, negative for unbounded).
+func (e *Engine) ConfigureAsync(streams int, windowBytes int64) {
+	e.async.configure(streams, windowBytes)
+}
+
+// AsyncStreams returns the number of worker streams async dispatches fan
+// out over.
+func (e *Engine) AsyncStreams() int {
+	e.async.mu.Lock()
+	defer e.async.mu.Unlock()
+	if e.async.sched != nil {
+		return len(e.async.sched.streams)
+	}
+	if e.async.streams > 0 {
+		return e.async.streams
+	}
+	return DefaultAsyncStreams
+}
+
+// RunAsync submits one collective nonblockingly and returns its Handle.
+// stream pins the op to a FIFO worker stream (ops on one stream execute in
+// submission order, NCCL-stream semantics); stream < 0 round-robins.
+//
+// The engine's topology state is pinned at submission: a Reconfigure that
+// lands while the op is queued or executing does not affect it — it
+// completes on its snapshot, exactly like a synchronous call that was
+// already in flight — while every submission after the reconfiguration
+// sees the post-fault state. RunAsync blocks only for backpressure (the
+// in-flight byte window); errors, including compile failures, resolve
+// through the handle.
+func (e *Engine) RunAsync(b Backend, op Op, root int, bytes int64, opts Options, stream int) *Handle {
+	st := e.st.Load() // pin the topology snapshot at submission time
+	h := newHandle()
+	e.async.scheduler().submit(stream, bytes, func() {
+		res, hit, err := e.runCountedHooked(st, b, op, root, bytes, opts, h.hook())
+		h.complete(res, hit, err)
+	})
+	return h
+}
+
+// ConfigureAsync tunes the cluster engine's async stream layer (see
+// Engine.ConfigureAsync).
+func (e *ClusterEngine) ConfigureAsync(streams int, windowBytes int64) {
+	e.async.configure(streams, windowBytes)
+}
+
+// RunAsync submits one cluster collective nonblockingly and returns its
+// ClusterHandle; semantics match Engine.RunAsync (FIFO per stream,
+// backpressure on the byte window, state pinned at submission so in-flight
+// work completes on its snapshot while later submissions see the
+// post-fault cluster).
+func (e *ClusterEngine) RunAsync(b Backend, op Op, root int, bytes int64, opts Options, stream int) *ClusterHandle {
+	st := e.st.Load()
+	h := newClusterHandle()
+	e.async.scheduler().submit(stream, bytes, func() {
+		res, hit, err := e.runCountedHooked(st, b, op, root, bytes, opts, nil, h.hook())
+		h.complete(res, hit, err)
+	})
+	return h
+}

@@ -54,12 +54,34 @@ func (fp *FrozenPlan) Replay() (simgpu.Result, error) { return fp.ReplayData(nil
 // ctx, so any number of goroutines may replay one frozen plan concurrently,
 // each with its own arena.
 func (fp *FrozenPlan) ReplayData(ctx *simgpu.BufferSet) (simgpu.Result, error) {
+	return fp.ReplayDataHooked(ctx, nil)
+}
+
+// ReplayHook observes chunk-granular replay progress: it is called after
+// each scheduled op (one pipelined chunk transfer or reduction) with the
+// number of ops completed so far and the schedule's total. Hooks run on the
+// replaying goroutine and must be cheap; an async stream scheduler uses
+// them to publish in-flight progress and to yield between chunks so
+// replays on concurrent streams interleave.
+type ReplayHook func(done, total int)
+
+// ReplayDataHooked is ReplayData with a chunk-granular progress hook. A nil
+// hook is ReplayData.
+func (fp *FrozenPlan) ReplayDataHooked(ctx *simgpu.BufferSet, hook ReplayHook) (simgpu.Result, error) {
 	ops := make([]*simgpu.Op, len(fp.ops))
 	for i := range fp.ops {
 		op := fp.ops[i]
 		ops[i] = &op
 	}
-	return fp.fabric.Run(ops, ctx)
+	if hook == nil {
+		return fp.fabric.Run(ops, ctx)
+	}
+	total := len(ops)
+	done := 0
+	return fp.fabric.RunHooked(ops, ctx, func(int, *simgpu.Op) {
+		done++
+		hook(done, total)
+	})
 }
 
 // TotalBytes is the collective payload the schedule moves.

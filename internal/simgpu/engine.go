@@ -120,6 +120,15 @@ func (q *opPQ) Pop() interface{} {
 // Exec-carrying schedules stay safe (the moved data is simply discarded).
 // Deterministic: ties break on op index.
 func Run(links []Link, ops []*Op, bufs *BufferSet) (Result, error) {
+	return RunHooked(links, ops, bufs, nil)
+}
+
+// RunHooked is Run plus a per-op completion hook: onOp fires after each op
+// is scheduled (its Exec closure, if any, has already run), in dependency
+// order. The hook is how callers observe chunk-granular progress — an async
+// stream scheduler uses it to report in-flight progress and to yield
+// between chunks so concurrent replays interleave. A nil hook is Run.
+func RunHooked(links []Link, ops []*Op, bufs *BufferSet, onOp func(i int, op *Op)) (Result, error) {
 	n := len(ops)
 	res := Result{Ops: n, BusiestLink: -1}
 	if n == 0 {
@@ -234,6 +243,9 @@ func Run(links []Link, ops []*Op, bufs *BufferSet) (Result, error) {
 		done++
 		if op.finish > res.Makespan {
 			res.Makespan = op.finish
+		}
+		if onOp != nil {
+			onOp(i, op)
 		}
 
 		// Advance the stream and release dependents.

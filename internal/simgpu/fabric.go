@@ -158,3 +158,8 @@ func (f *Fabric) ReduceLink(v int) int { return f.reduceBase + v }
 // arena Exec closures resolve against; it may be nil for timing-only op
 // sets (see Run).
 func (f *Fabric) Run(ops []*Op, bufs *BufferSet) (Result, error) { return Run(f.Links, ops, bufs) }
+
+// RunHooked is Run with a per-op completion hook (see RunHooked).
+func (f *Fabric) RunHooked(ops []*Op, bufs *BufferSet, onOp func(i int, op *Op)) (Result, error) {
+	return RunHooked(f.Links, ops, bufs, onOp)
+}

@@ -2,12 +2,19 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 
 	"blink/internal/graph"
 )
+
+// MaxParseGPUs bounds the device count a parsed spec may declare. No real
+// single-machine fabric approaches it, and the bound keeps a hostile or
+// corrupted spec ("0-999999999") from allocating gigabytes of graph before
+// validation can reject it.
+const MaxParseGPUs = 1024
 
 // Parse builds a custom topology from a compact textual description, so
 // users can model fabrics beyond the built-in DGX machines:
@@ -62,11 +69,17 @@ func Parse(spec string) (*Topology, error) {
 			return nil, fmt.Errorf("topology: bad endpoint in %q: %w", tok, err)
 		}
 		links, err := strconv.ParseFloat(linkStr, 64)
-		if err != nil || links <= 0 {
+		// NaN fails every comparison and +Inf passes "> 0", so test for
+		// finiteness explicitly: either would poison downstream bandwidth
+		// math (NaN capacities make tree packing loop on unordered weights).
+		if err != nil || links <= 0 || math.IsNaN(links) || math.IsInf(links, 0) {
 			return nil, fmt.Errorf("topology: bad link count %q", linkStr)
 		}
 		if a == b || a < 0 || b < 0 {
 			return nil, fmt.Errorf("topology: bad edge %d-%d", a, b)
+		}
+		if a >= MaxParseGPUs || b >= MaxParseGPUs {
+			return nil, fmt.Errorf("topology: endpoint %d exceeds the %d-GPU limit", max(a, b), MaxParseGPUs)
 		}
 		edges = append(edges, edge{a, b, links})
 		if a > maxV {
@@ -80,10 +93,13 @@ func Parse(spec string) (*Topology, error) {
 		return nil, fmt.Errorf("topology: no edges in spec")
 	}
 	// Fold duplicate connection tokens ("0-1, 0-1" or "0-1, 1-0") into one
-	// connection with the summed link count, keeping first-appearance
-	// order. One edge pair per connected device pair is what keeps derived
-	// topologies' degrade-then-restore (WithLinkUnits) fingerprint-stable,
-	// and matches what Spec() renders.
+	// connection with the summed link count. One edge pair per connected
+	// device pair is what keeps derived topologies' degrade-then-restore
+	// (WithLinkUnits) fingerprint-stable. Edges are built in sorted (a, b)
+	// order — the order Spec() renders — so the Fingerprint (which hashes
+	// edges positionally) is a function of the described fabric, not of
+	// the spelling: "0-1, 1-2" and "1-2, 0-1" parse to one identity, and
+	// Parse(Spec(t)) always reproduces t's fingerprint.
 	type pair struct{ a, b int }
 	caps := map[pair]float64{}
 	var order []pair
@@ -96,6 +112,19 @@ func Parse(spec string) (*Topology, error) {
 			order = append(order, k)
 		}
 		caps[k] += e.links
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].a != order[j].a {
+			return order[i].a < order[j].a
+		}
+		return order[i].b < order[j].b
+	})
+	// Re-validate after folding: every token can be finite yet their sum
+	// overflow to +Inf ("0-1:1e308, 0-1:1e308").
+	for _, k := range order {
+		if math.IsInf(caps[k], 0) {
+			return nil, fmt.Errorf("topology: summed link count of %d-%d overflows", k.a, k.b)
+		}
 	}
 	n := maxV + 1
 	g := graph.New(n)

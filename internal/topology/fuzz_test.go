@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blink/internal/graph"
+)
+
+// FuzzParse drives the custom-topology parser with arbitrary specs. The
+// contract under fuzz: Parse returns a valid machine or an error — it
+// never panics, never returns a machine with non-finite or non-positive
+// capacities, never exceeds the device bound, and every accepted machine
+// round-trips through Spec() onto the same fingerprint (the plan-cache
+// identity, so a drifting round-trip would silently split cache keys).
+//
+// The checked-in corpus under testdata/fuzz/FuzzParse seeds the known
+// sharp edges: duplicate and reversed edges (capacity folding),
+// malformed tokens, NaN/Inf/overflow link counts and out-of-range
+// endpoints.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"v100; 0-1:2, 1-2:1, 0-2:1",
+		"p100; 0-1, 0-1, 1-0",     // duplicate + reversed edges fold
+		"v100; 0-1:2,0-1:2,1-2:4", // duplicate with explicit counts
+		"V100 ;  3-2 : 0.5 ,2-1",  // whitespace and case tolerance
+		"v100; 0--1",
+		"v100; 1-1",
+		"v100; 0-1:NaN",
+		"v100; 0-1:+Inf",
+		"v100; 0-1:1e999",
+		"v100; 0-1:-3",
+		"v100; 0-999999999",
+		"bogus; 0-1",
+		"v100;",
+		"v100",
+		"; 0-1",
+		"v100; 0-1:",
+		"v100; a-b:c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		top, err := Parse(spec)
+		if err != nil {
+			if top != nil {
+				t.Fatalf("Parse(%q) returned both a machine and error %v", spec, err)
+			}
+			return
+		}
+		if top.NumGPUs < 2 || top.NumGPUs > MaxParseGPUs {
+			t.Fatalf("Parse(%q): %d GPUs outside [2,%d]", spec, top.NumGPUs, MaxParseGPUs)
+		}
+		if top.G == nil || top.P == nil {
+			t.Fatalf("Parse(%q): accepted machine missing a plane", spec)
+		}
+		for _, e := range top.G.Edges {
+			if e.Cap <= 0 || math.IsNaN(e.Cap) || math.IsInf(e.Cap, 0) {
+				t.Fatalf("Parse(%q): edge %d-%d has capacity %v", spec, e.From, e.To, e.Cap)
+			}
+			if e.From == e.To || e.From < 0 || e.To >= top.G.N {
+				t.Fatalf("Parse(%q): invalid edge %d-%d (n=%d)", spec, e.From, e.To, top.G.N)
+			}
+			if e.Type != graph.NVLink {
+				t.Fatalf("Parse(%q): NVLink plane holds a %v edge", spec, e.Type)
+			}
+		}
+		// Round trip: the rendered spec must parse to the same machine
+		// identity (capacity folding of duplicate tokens included).
+		rt, err := Parse(top.Spec())
+		if err != nil {
+			t.Fatalf("Parse(Spec(Parse(%q))) failed: %v (spec %q)", spec, err, top.Spec())
+		}
+		if got, want := rt.Fingerprint(), top.Fingerprint(); got != want {
+			t.Fatalf("round trip of %q drifted: fingerprint %q != %q", spec, got, want)
+		}
+	})
+}
+
+// TestParseRejectsNonFiniteAndOversized pins the hardened validation the
+// fuzz property relies on (regression-testable without the fuzzer).
+func TestParseRejectsNonFiniteAndOversized(t *testing.T) {
+	for _, spec := range []string{
+		"v100; 0-1:NaN",
+		"v100; 0-1:Inf",
+		"v100; 0-1:-Inf",
+		"v100; 0-1:1e999",
+		"v100; 0-1:1e308, 0-1:1e308", // per-token finite, folded sum overflows
+		"v100; 0-1:0",
+		"v100; 0-2000000000",
+		"v100; 0-1024",
+	} {
+		if top, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", spec, top.Spec())
+		} else if !strings.Contains(err.Error(), "topology:") {
+			t.Errorf("Parse(%q): unexpected error shape %v", spec, err)
+		}
+	}
+	// The bound is inclusive of device ID MaxParseGPUs-1.
+	if _, err := Parse("v100; 0-1023"); err != nil {
+		t.Errorf("Parse at the device bound rejected: %v", err)
+	}
+}
