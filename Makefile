@@ -5,8 +5,9 @@ GO ?= go
 # them to make a build pass.
 COVER_FLOOR_COLLECTIVE ?= 80
 COVER_FLOOR_CORE ?= 78
+COVER_FLOOR_DNN ?= 70
 
-.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke ci
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke ci
 
 all: build test
 
@@ -27,7 +28,7 @@ race:
 # Statement-coverage gate for the scheduling/runtime core packages.
 cover:
 	@set -e; \
-	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)"; do \
+	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)" "./internal/dnn $(COVER_FLOOR_DNN)"; do \
 		set -- $$spec; pkg=$$1; floor=$$2; \
 		out=$$($(GO) test -cover $$pkg) || { echo "$$out"; echo "tests of $$pkg failed"; exit 1; }; \
 		line=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%'); \
@@ -37,10 +38,12 @@ cover:
 		if [ "$$ok" != 1 ]; then echo "coverage of $$pkg fell below the $$floor% floor"; exit 1; fi; \
 	done
 
-# Short native-fuzz smoke over the topology parser (the checked-in corpus
-# always runs as seed cases in `make test`; this adds mutation time).
+# Short native-fuzz smoke over the topology parser and the point-to-point
+# plan builders (the checked-in corpora always run as seed cases in
+# `make test`; this adds mutation time).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s ./internal/topology
+	$(GO) test -run '^$$' -fuzz '^FuzzExchangePlanBuilders$$' -fuzztime 15s ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -87,4 +90,14 @@ async:
 async-smoke:
 	$(GO) run ./cmd/blinkbench -async -o /dev/null
 
-ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke
+mixed:
+	$(GO) run ./cmd/blinkbench -mixed -o BENCH_mixed.json
+
+# CI smoke for the mixed-collective bench; it exits non-zero if Blink's
+# AllToAll falls below 1.0x the flat-ring baseline at any payload, gating
+# merges on the pairwise-exchange scheduler staying competitive (see
+# BENCH_mixed.json for the tracked run).
+mixed-smoke:
+	$(GO) run ./cmd/blinkbench -mixed -o /dev/null
+
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke

@@ -161,6 +161,96 @@ func TestAsyncReconfigureRace(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
+// TestAsyncExchangeReconfigureRace is the point-to-point counterpart of
+// TestAsyncReconfigureRace: two streams flooded with AllToAllAsync and
+// SendRecvAsync submissions while ReconfigureExclude evicts GPU 7
+// mid-stream. Pre-fault chains through rank 7 ride their pinned snapshot
+// and resolve successfully; post-fault submissions naming rank 7 fail
+// cleanly through the handle; the exchange ops valid on both topologies all
+// resolve; no goroutines leak.
+func TestAsyncExchangeReconfigureRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	comm, err := NewComm(DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}, WithStreams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-fault submissions pinned across both streams. The chains end at
+	// rank 7, valid only pre-fault: their success proves snapshot pinning.
+	var handles []*Handle
+	for i := 0; i < 12; i++ {
+		stream := i % 2
+		switch i % 3 {
+		case 0:
+			handles = append(handles, comm.AllToAllAsync(8<<20, OnStream(stream)))
+		case 1:
+			handles = append(handles, comm.SendRecvAsync([]int{0, 3, 7}, 2<<20, OnStream(stream)))
+		case 2:
+			handles = append(handles, comm.NeighborExchangeAsync(
+				[][]int{{7}, {0}, {1}, {2}, {3}, {4}, {5}, {6}}, 1<<20, OnStream(stream)))
+		}
+	}
+
+	var wg sync.WaitGroup
+	raceErr := make(chan error, 16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := comm.ReconfigureExclude(7); err != nil {
+			raceErr <- fmt.Errorf("reconfigure: %w", err)
+		}
+	}()
+	var raced []*Handle
+	var racedMu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				// AllToAll and a low-rank chain are valid on both the 8- and
+				// 7-rank topologies, whichever snapshot a submission lands on.
+				h := comm.AllToAllAsync(1 << 20)
+				h2 := comm.SendRecvAsync([]int{0, 1, 2}, 1<<20)
+				racedMu.Lock()
+				raced = append(raced, h, h2)
+				racedMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("pre-fault handle %d: %v", i, err)
+		}
+	}
+	for i, h := range raced {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("raced handle %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-raceErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Post-fault submissions see the 7-rank communicator: chains through
+	// rank 7 now fail cleanly through the handle, valid shapes still run.
+	if comm.Size() != 7 {
+		t.Fatalf("post-fault size %d, want 7", comm.Size())
+	}
+	if _, err := comm.SendRecvAsync([]int{0, 7}, 1<<20).Wait(); err == nil {
+		t.Fatal("post-fault chain through evicted rank resolved without error")
+	}
+	if _, err := comm.AllToAllAsync(1 << 20).Wait(); err != nil {
+		t.Fatalf("post-fault alltoall: %v", err)
+	}
+
+	settleGoroutines(t, base)
+}
+
 // TestAsyncStreamWorkersEphemeral checks an idle communicator holds no
 // stream goroutines: workers spawn with work and exit when queues drain.
 func TestAsyncStreamWorkersEphemeral(t *testing.T) {

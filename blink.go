@@ -252,6 +252,32 @@ func (c *Comm) HybridBroadcast(root int, bytes int64) (Result, error) {
 	return res, err
 }
 
+// AllToAll exchanges a distinct bytes/Size() shard between every pair of
+// ranks (the dispatch/combine primitive of expert-parallel MoE layers).
+// Under BackendBlink each source scatters its shards over its own packed
+// spanning trees; under BackendNCCL pairs move store-and-forward along the
+// baseline rings.
+func (c *Comm) AllToAll(bytes int64) (Result, error) {
+	return c.run(collective.AllToAll, 0, bytes, collective.Options{})
+}
+
+// SendRecv forwards one bytes-sized payload stage by stage along the given
+// rank chain (a pipeline-parallel activation hand-off): chain[0] sends to
+// chain[1], which forwards to chain[2], and so on, each stage chunk-
+// pipelined against the next. Non-adjacent stages are routed over relay
+// ranks. The chain must name at least two distinct in-range ranks.
+func (c *Comm) SendRecv(chain []int, bytes int64) (Result, error) {
+	return c.run(collective.SendRecv, 0, bytes, collective.Options{Chain: chain})
+}
+
+// NeighborExchange sends each rank's bytes-sized payload to every rank on
+// its neighbor list (a halo exchange). neighbors must hold exactly Size()
+// rows; row v lists the ranks v sends to. Self-loops and duplicate targets
+// are rejected.
+func (c *Comm) NeighborExchange(neighbors [][]int, bytes int64) (Result, error) {
+	return c.run(collective.NeighborExchange, 0, bytes, collective.Options{Neighbors: neighbors})
+}
+
 // Handle is the caller's reference to one in-flight async collective: wait
 // with Wait (or select on Done), peek failures with Err, watch
 // chunk-granular progress with Progress.
@@ -328,6 +354,28 @@ func (c *Comm) AllGatherAsync(bytes int64, opts ...AsyncOpt) *Handle {
 // ReduceScatterAsync is the nonblocking ReduceScatter.
 func (c *Comm) ReduceScatterAsync(bytes int64, opts ...AsyncOpt) *Handle {
 	return c.runAsync(collective.ReduceScatter, 0, bytes, opts)
+}
+
+// AllToAllAsync is the nonblocking AllToAll (see BroadcastAsync for the
+// shared async semantics).
+func (c *Comm) AllToAllAsync(bytes int64, opts ...AsyncOpt) *Handle {
+	return c.runAsync(collective.AllToAll, 0, bytes, opts)
+}
+
+// SendRecvAsync is the nonblocking SendRecv along the given rank chain.
+func (c *Comm) SendRecvAsync(chain []int, bytes int64, opts ...AsyncOpt) *Handle {
+	return c.eng.RunAsync(c.backend, collective.SendRecv, 0, bytes,
+		collective.Options{Chain: append([]int(nil), chain...)}, asyncStream(opts))
+}
+
+// NeighborExchangeAsync is the nonblocking NeighborExchange.
+func (c *Comm) NeighborExchangeAsync(neighbors [][]int, bytes int64, opts ...AsyncOpt) *Handle {
+	rows := make([][]int, len(neighbors))
+	for i, r := range neighbors {
+		rows[i] = append([]int(nil), r...)
+	}
+	return c.eng.RunAsync(c.backend, collective.NeighborExchange, 0, bytes,
+		collective.Options{Neighbors: rows}, asyncStream(opts))
 }
 
 // dataSnapshot pins the engine's topology state for one data-mode call, so
@@ -530,6 +578,119 @@ func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
 	return out, nil
 }
 
+// AllToAllData exchanges real data between every pair of ranks: rank v's
+// input is split into Size() equal shards and shard d is delivered to rank
+// d, so out[d] is the rank-order concatenation of every rank's d-th shard.
+// Buffer lengths must be a positive multiple of Size(). Like GatherData, it
+// requires BackendBlink (the NCCL ring baseline is timing-only).
+func (c *Comm) AllToAllData(inputs [][]float32) ([][]float32, error) {
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	n, err := checkShardInputs(inputs, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if c.backend != BackendBlink {
+		return nil, fmt.Errorf("blink: data-mode AllToAll requires BackendBlink")
+	}
+	if n%ranks != 0 {
+		return nil, fmt.Errorf("blink: buffer length %d not a multiple of %d ranks", n, ranks)
+	}
+	shard := n / ranks
+	bs := simgpu.NewBufferSet()
+	for v, in := range inputs {
+		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+	}
+	if _, err := snap.Run(c.backend, collective.AllToAll, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, ranks)
+	for d := range out {
+		buf := make([]float32, n)
+		for r := 0; r < ranks; r++ {
+			copy(buf[r*shard:(r+1)*shard], bs.Buffer(d, core.ExchangeTag(r), n)[d*shard:(d+1)*shard])
+		}
+		out[d] = buf
+	}
+	return out, nil
+}
+
+// SendRecvData forwards chain[0]'s payload stage by stage along the rank
+// chain and returns each chain member's received copy, in chain order
+// (out[0] is the sender's own buffer). Requires BackendBlink.
+func (c *Comm) SendRecvData(chain []int, data []float32) ([][]float32, error) {
+	snap, _, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if c.backend != BackendBlink {
+		return nil, fmt.Errorf("blink: data-mode SendRecv requires BackendBlink")
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("blink: empty buffer")
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("blink: empty chain")
+	}
+	bs := simgpu.NewBufferSet()
+	bs.SetBuffer(chain[0], core.BufData, append([]float32(nil), data...))
+	opts := collective.Options{DataMode: true, Buffers: bs, Chain: append([]int(nil), chain...)}
+	if _, err := snap.Run(c.backend, collective.SendRecv, 0, int64(n)*4, opts); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, len(chain))
+	for i, v := range chain {
+		out[i] = append([]float32(nil), bs.Buffer(v, core.BufData, n)...)
+	}
+	return out, nil
+}
+
+// NeighborExchangeData sends each rank's buffer to every rank on its
+// neighbor list and returns what each rank received: out[u][v] is rank v's
+// payload as received by rank u, present exactly when u is on v's list.
+// All buffers must share a length. Requires BackendBlink.
+func (c *Comm) NeighborExchangeData(neighbors [][]int, inputs [][]float32) ([]map[int][]float32, error) {
+	snap, ranks, err := c.dataSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	n, err := checkShardInputs(inputs, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if c.backend != BackendBlink {
+		return nil, fmt.Errorf("blink: data-mode NeighborExchange requires BackendBlink")
+	}
+	rows := make([][]int, len(neighbors))
+	for i, r := range neighbors {
+		rows[i] = append([]int(nil), r...)
+	}
+	bs := simgpu.NewBufferSet()
+	for v, in := range inputs {
+		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+	}
+	opts := collective.Options{DataMode: true, Buffers: bs, Neighbors: rows}
+	if _, err := snap.Run(c.backend, collective.NeighborExchange, 0, int64(n)*4, opts); err != nil {
+		return nil, err
+	}
+	out := make([]map[int][]float32, ranks)
+	for u := range out {
+		out[u] = map[int][]float32{}
+	}
+	for v, row := range rows {
+		if v >= ranks {
+			break
+		}
+		for _, u := range row {
+			out[u][v] = append([]float32(nil), bs.Buffer(u, core.ExchangeTag(v), n)...)
+		}
+	}
+	return out, nil
+}
+
 // checkShardInputs validates a per-rank input set for the data-mode
 // collectives: one equal-length non-empty buffer per rank. It returns the
 // shared buffer length.
@@ -642,6 +803,23 @@ func (c *ClusterComm) AllReduceMany(sizes []int64) (GroupResult, error) {
 // Broadcast sends bytes from the given global rank to every rank.
 func (c *ClusterComm) Broadcast(root int, bytes int64) (ClusterResult, error) {
 	return c.eng.Run(c.backend, collective.Broadcast, root, bytes, collective.Options{})
+}
+
+// AllToAll exchanges a distinct bytes/Size() shard between every pair of
+// global ranks, within servers over packed spanning trees and across
+// servers through the NIC fabric. Requires the Blink backend (the flat-ring
+// baseline has no cluster point-to-point schedule).
+func (c *ClusterComm) AllToAll(bytes int64) (ClusterResult, error) {
+	return c.eng.Run(c.backend, collective.AllToAll, 0, bytes, collective.Options{})
+}
+
+// AllToAllData exchanges real data between every pair of global ranks:
+// rank g's input splits into Size() shards and shard d lands on global rank
+// d, so out[d] concatenates every rank's d-th shard in global rank order.
+// Requires WithDataMode and the Blink backend.
+func (c *ClusterComm) AllToAllData(inputs [][]float32) ([][]float32, error) {
+	outs, _, err := c.eng.AllToAllData(c.backend, inputs, collective.Options{})
+	return outs, err
 }
 
 // AllReduceData sums the per-rank buffers elementwise across servers and

@@ -111,6 +111,56 @@ func TestClusterCommAllReduceDataAcceptance(t *testing.T) {
 	}
 }
 
+// TestClusterCommAllToAll covers the cluster-wide pairwise exchange: timing
+// plans compile under the three-phase strategy, data runs are
+// elementwise-exact against the shard-permutation reference on every global
+// rank (including cross-server pairs), warm dispatches replay frozen plans,
+// and the flat-ring baseline is rejected.
+func TestClusterCommAllToAll(t *testing.T) {
+	cc, err := NewClusterComm(twoServerCluster(t, 3, 5, 100), WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.AllToAll(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "3-phase+alltoall" || res.Phase2 <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	total := cc.Size()
+	const shard = 37
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 2; iter++ {
+		inputs, _ := randInputs(rng, total, shard*total)
+		outs, err := cc.AllToAllData(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, out := range outs {
+			for r := 0; r < total; r++ {
+				for i := 0; i < shard; i++ {
+					want := inputs[r][d*shard+i]
+					if out[r*shard+i] != want {
+						t.Fatalf("iter %d dest %d src %d float %d = %v, want %v",
+							iter, d, r, i, out[r*shard+i], want)
+					}
+				}
+			}
+		}
+	}
+	if st := cc.CacheStats(); st.Hits == 0 {
+		t.Fatalf("warm cluster AllToAll should hit the plan cache: %+v", st)
+	}
+	ring, err := NewClusterComm(twoServerCluster(t, 3, 5, 100), WithBackend(BackendNCCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.AllToAll(64 << 20); err == nil {
+		t.Fatal("flat-ring cluster AllToAll should be rejected")
+	}
+}
+
 func TestClusterCommGroupedDispatch(t *testing.T) {
 	cc, err := NewClusterComm(twoServerCluster(t, 4, 4, 40))
 	if err != nil {

@@ -11,6 +11,7 @@
 //	blinkbench -dataconc -o BENCH_dataConcurrency.json  # data-mode caller scaling
 //	blinkbench -resilience -o BENCH_resilience.json  # training across mid-run faults
 //	blinkbench -async -o BENCH_async.json            # async-stream overlap + dispatch throughput
+//	blinkbench -mixed -o BENCH_mixed.json            # AllToAll / SendRecv / NeighborExchange vs flat ring
 package main
 
 import (
@@ -29,7 +30,8 @@ func main() {
 	dataconc := flag.Bool("dataconc", false, "benchmark data-mode throughput vs concurrent caller count and emit JSON")
 	resilience := flag.Bool("resilience", false, "benchmark training runs surviving mid-run topology faults and emit JSON")
 	async := flag.Bool("async", false, "benchmark async-stream overlap and dispatch throughput and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async ('-' = stdout)")
+	mixed := flag.Bool("mixed", false, "benchmark AllToAll/SendRecv/NeighborExchange vs the flat-ring baseline and emit JSON")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -50,6 +52,10 @@ func main() {
 	}
 	if *async {
 		asyncMain(*out)
+		return
+	}
+	if *mixed {
+		mixedMain(*out)
 		return
 	}
 

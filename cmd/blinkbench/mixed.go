@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"blink"
+	"blink/internal/collective"
+	"blink/internal/simgpu"
+)
+
+// mixedCase is one payload point of the mixed-collective sweep: Blink's
+// tree-packed schedule vs the NCCL-style flat-ring baseline for one op.
+type mixedCase struct {
+	Op           string  `json:"op"`
+	PayloadBytes int64   `json:"payloadBytes"`
+	BlinkGBs     float64 `json:"blinkGBs"`
+	RingGBs      float64 `json:"ringGBs"`
+	// Speedup is Blink over the ring baseline (>= 1 means the packed trees
+	// at least match store-and-forward ring routing).
+	Speedup       float64 `json:"speedup"`
+	BlinkStrategy string  `json:"blinkStrategy"`
+	RingStrategy  string  `json:"ringStrategy"`
+}
+
+// mixedReport is the schema of BENCH_mixed.json.
+type mixedReport struct {
+	Methodology string      `json:"methodology"`
+	Machine     string      `json:"machine"`
+	Ranks       int         `json:"ranks"`
+	GoVersion   string      `json:"goVersion"`
+	Cases       []mixedCase `json:"cases"`
+	// MinAllToAllSpeedup is the headline: the worst Blink-vs-ring AllToAll
+	// ratio across payloads; the acceptance threshold is >= 1.0x on the
+	// simulated DGX-1V.
+	MinAllToAllSpeedup float64 `json:"minAllToAllSpeedup"`
+	MeetsThreshold     bool    `json:"allToAllAtLeast1_0x"`
+}
+
+const mixedMethodology = "One timing-mode engine over a full 8-GPU DGX-1V. " +
+	"For each payload, AllToAll runs under both backends: Blink scatters " +
+	"each source's per-destination shards over that source's packed " +
+	"spanning trees (one tree set per root, all eight active " +
+	"simultaneously), while the NCCL-style baseline moves every (src, dst) " +
+	"pair store-and-forward along the flat rings, pairs assigned to rings " +
+	"round-robin. SendRecv chains (an 8-stage pipeline hand-off) and a " +
+	"bidirectional ring NeighborExchange are swept the same way: Blink " +
+	"routes each hop over BFS shortest paths with relay ranks, the " +
+	"baseline walks the ring. Throughput is payload bytes over simulated " +
+	"schedule time; every number is a warm frozen-plan replay (cold " +
+	"compiles discarded). The gate requires Blink AllToAll >= 1.0x the " +
+	"ring baseline at every payload."
+
+// runMixedBench sweeps the point-to-point collective families under both
+// backends and writes the JSON report to out.
+func runMixedBench(out io.Writer) error {
+	machine := blink.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	eng, err := collective.NewEngine(machine, devs, simgpu.Config{})
+	if err != nil {
+		return err
+	}
+	rep := mixedReport{
+		Methodology: mixedMethodology,
+		Machine:     machine.Name,
+		Ranks:       len(devs),
+		GoVersion:   runtime.Version(),
+	}
+
+	chain := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	neighbors := make([][]int, 8)
+	for v := range neighbors {
+		neighbors[v] = []int{(v + 1) % 8, (v + 7) % 8}
+	}
+	sweep := []struct {
+		op   collective.Op
+		opts collective.Options
+	}{
+		{collective.AllToAll, collective.Options{}},
+		{collective.SendRecv, collective.Options{Chain: chain}},
+		{collective.NeighborExchange, collective.Options{Neighbors: neighbors}},
+	}
+	payloads := []int64{16 << 20, 64 << 20, 256 << 20}
+
+	rep.MinAllToAllSpeedup = 0
+	for _, s := range sweep {
+		for _, bytes := range payloads {
+			// Cold compile both schedules, then time a warm replay.
+			var res [2]collective.Result
+			for i, b := range []collective.Backend{collective.Blink, collective.NCCL} {
+				if _, err := eng.Run(b, s.op, 0, bytes, s.opts); err != nil {
+					return fmt.Errorf("%v/%v cold: %w", b, s.op, err)
+				}
+				r, err := eng.Run(b, s.op, 0, bytes, s.opts)
+				if err != nil {
+					return fmt.Errorf("%v/%v warm: %w", b, s.op, err)
+				}
+				res[i] = r
+			}
+			c := mixedCase{
+				Op:            s.op.String(),
+				PayloadBytes:  bytes,
+				BlinkGBs:      res[0].ThroughputGBs,
+				RingGBs:       res[1].ThroughputGBs,
+				BlinkStrategy: res[0].Strategy,
+				RingStrategy:  res[1].Strategy,
+			}
+			if c.RingGBs > 0 {
+				c.Speedup = c.BlinkGBs / c.RingGBs
+			}
+			if s.op == collective.AllToAll {
+				if rep.MinAllToAllSpeedup == 0 || c.Speedup < rep.MinAllToAllSpeedup {
+					rep.MinAllToAllSpeedup = c.Speedup
+				}
+			}
+			rep.Cases = append(rep.Cases, c)
+		}
+	}
+	rep.MeetsThreshold = rep.MinAllToAllSpeedup >= 1.0
+	if !rep.MeetsThreshold {
+		return fmt.Errorf("mixed: AllToAll speedup %.2fx below the 1.0x threshold", rep.MinAllToAllSpeedup)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// mixedMain handles the -mixed flag.
+func mixedMain(path string) {
+	writeReport(path, "mixed", runMixedBench)
+}

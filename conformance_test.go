@@ -174,11 +174,74 @@ func confOps() []confOp {
 				assertEq(t, fmt.Sprintf("rank %d", r), out, sum[r*shardFloats:(r+1)*shardFloats])
 			}
 		}},
+		{name: "AllToAll", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			inputs, _ := randInputs(rng, ranks, shardFloats*ranks)
+			outs, err := comm.AllToAllData(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d, out := range outs {
+				// Reference: out[d] concatenates every rank's d-th shard.
+				want := make([]float32, 0, shardFloats*ranks)
+				for r := 0; r < ranks; r++ {
+					want = append(want, inputs[r][d*shardFloats:(d+1)*shardFloats]...)
+				}
+				assertEq(t, fmt.Sprintf("rank %d", d), out, want)
+			}
+		}},
+		{name: "SendRecvChain", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			payload := make([]float32, shardFloats*ranks)
+			for i := range payload {
+				payload[i] = float32(rng.Intn(512))
+			}
+			// Forward pipeline 0..n-1 and the reversed chain, so both hop
+			// directions of the fabric carry staged traffic.
+			for _, chain := range [][]int{seqChain(ranks, false), seqChain(ranks, true)} {
+				outs, err := comm.SendRecvData(chain, payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, out := range outs {
+					assertEq(t, fmt.Sprintf("stage %d (rank %d)", i, chain[i]), out, payload)
+				}
+			}
+		}},
+		{name: "NeighborExchange", run: func(t *testing.T, comm *Comm, ranks, root int, rng *rand.Rand) {
+			inputs, _ := randInputs(rng, ranks, shardFloats)
+			// Bidirectional ring halo: every rank sends to both ring
+			// neighbors.
+			neighbors := make([][]int, ranks)
+			for v := 0; v < ranks; v++ {
+				neighbors[v] = []int{(v + 1) % ranks, (v + ranks - 1) % ranks}
+			}
+			recvs, err := comm.NeighborExchangeData(neighbors, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, row := range neighbors {
+				for _, u := range row {
+					assertEq(t, fmt.Sprintf("recv %d<-%d", u, v), recvs[u][v], inputs[v])
+				}
+			}
+		}},
 	}
 }
 
+// seqChain returns ranks 0..n-1 in order, or reversed.
+func seqChain(n int, rev bool) []int {
+	c := make([]int, n)
+	for i := range c {
+		if rev {
+			c[i] = n - 1 - i
+		} else {
+			c[i] = i
+		}
+	}
+	return c
+}
+
 // TestDataModeConformance is the cross-backend conformance matrix: all
-// seven data-mode collectives x {DGX-1P, DGX-1V, DGX-2} x {pristine, one
+// ten data-mode collectives x {DGX-1P, DGX-1V, DGX-2} x {pristine, one
 // derived degraded topology}, every cell verified elementwise against a
 // sequential reference. Rooted ops run at rank 0 and the highest rank, so
 // relay-root schedules are covered too. One table drives the whole

@@ -33,6 +33,10 @@ type PlanKey struct {
 	ChunkBytes int64
 	DataMode   bool
 	Hybrid     bool
+	// Shape canonicalizes the rank structure of point-to-point ops — the
+	// SendRecv chain or the NeighborExchange send lists — so two calls with
+	// different shapes never share a frozen schedule ("" for shapeless ops).
+	Shape string
 	// EngineID pins data-mode plans to the engine that compiled them.
 	// Their Exec closures encode that engine's fabric geometry (relay
 	// vertices, shard layouts), so replaying them from another engine

@@ -434,8 +434,11 @@ func (e *ClusterEngine) lookupOrCompile(st *clusterState, b Backend, op Op, root
 	if bytes < 4 {
 		return nil, false, fmt.Errorf("collective: payload %d too small", bytes)
 	}
-	if op != AllReduce && op != Broadcast {
-		return nil, false, fmt.Errorf("collective: cluster collectives support AllReduce and Broadcast, not %v", op)
+	if op != AllReduce && op != Broadcast && op != AllToAll {
+		return nil, false, fmt.Errorf("collective: cluster collectives support AllReduce, Broadcast and AllToAll, not %v", op)
+	}
+	if op == AllToAll && b != Blink {
+		return nil, false, fmt.Errorf("collective: cluster AllToAll requires the Blink backend")
 	}
 	chunk := chunkFor(bytes, opts.ChunkBytes)
 	key := PlanKey{
@@ -498,6 +501,7 @@ func compileThreePhase(st *clusterState, op Op, root int, bytes int64, chunk int
 	var tp *core.ThreePhasePlans
 	var err error
 	rootServer := -1
+	strategy := "3-phase"
 	switch op {
 	case AllReduce:
 		tp, err = core.BuildThreePhaseAllReduce(st.cluster, fabrics, st.netFab, packFor, bytes, po)
@@ -508,6 +512,9 @@ func compileThreePhase(st *clusterState, op Op, root int, bytes int64, chunk int
 			return nil, "", err
 		}
 		tp, err = core.BuildThreePhaseBroadcast(st.cluster, fabrics, st.netFab, packFor, rootServer, localRoot, bytes, po)
+	case AllToAll:
+		strategy = "3-phase+alltoall"
+		tp, err = core.BuildThreePhaseAllToAll(st.cluster, fabrics, st.netFab, packFor, bytes, po)
 	}
 	if err != nil {
 		return nil, "", err
@@ -524,13 +531,49 @@ func compileThreePhase(st *clusterState, op Op, root int, bytes int64, chunk int
 		plan.phase3 = append(plan.phase3, p.Freeze())
 	}
 	if opts.DataMode {
-		if op == AllReduce {
+		switch op {
+		case AllReduce:
 			plan.exchange = allReduceExchange(tp)
-		} else {
+		case Broadcast:
 			plan.exchange = broadcastExchange(tp, rootServer, int(bytes/4))
+		case AllToAll:
+			plan.exchange = allToAllExchange(st, int(bytes/4)/st.total)
 		}
 	}
-	return plan, "3-phase", nil
+	return plan, strategy, nil
+}
+
+// allToAllExchange builds the data-mode cross-server glue phase 2's NIC
+// transfers stand for in a cluster AllToAll: every shard headed off-server
+// is copied straight from the sender's input buffer into the receiver's
+// cluster exchange buffer, keyed by the global source rank. (Same-server
+// shards were already delivered by phase 1's local AllToAll under the local
+// exchange tags.) The closure captures only the frozen rank geometry.
+func allToAllExchange(st *clusterState, shard int) func([]*simgpu.BufferSet) {
+	bases := append([]int(nil), st.rankBase...)
+	sizes := make([]int, len(st.cluster.Servers))
+	for si, s := range st.cluster.Servers {
+		sizes[si] = s.NumGPUs
+	}
+	bufLen := st.total * shard
+	return func(servers []*simgpu.BufferSet) {
+		for si := range servers {
+			for l := 0; l < sizes[si]; l++ {
+				gsrc := bases[si] + l
+				src := servers[si].Buffer(l, core.BufData, bufLen)
+				for sj := range servers {
+					if sj == si {
+						continue
+					}
+					for m := 0; m < sizes[sj]; m++ {
+						gdst := bases[sj] + m
+						dst := servers[sj].Buffer(m, core.ClusterExchangeTag(gsrc), bufLen)
+						copy(dst[gdst*shard:(gdst+1)*shard], src[gdst*shard:(gdst+1)*shard])
+					}
+				}
+			}
+		}
+	}
 }
 
 // allReduceExchange builds the data-mode cross-server glue phase 2's NIC
@@ -679,6 +722,64 @@ func (e *ClusterEngine) BroadcastData(b Backend, root int, data []float32, opts 
 		return nil, ClusterResult{}, err
 	}
 	return st.readData(resolve, core.BufData, n), res, nil
+}
+
+// AllToAllData exchanges per-rank shards across the whole cluster: rank g's
+// input is totalRanks equal shards, shard r of which is delivered to global
+// rank r; the returned out[g] concatenates what g received, ordered by
+// source rank. Blink-only: phase 1 runs each server's local tree AllToAll
+// while phase 2 ships the cross-server shard blocks through the NIC switch.
+func (e *ClusterEngine) AllToAllData(b Backend, inputs [][]float32, opts Options) ([][]float32, ClusterResult, error) {
+	if !e.Cfg.DataMode {
+		return nil, ClusterResult{}, fmt.Errorf("collective: cluster engine not in data mode")
+	}
+	if b != Blink {
+		return nil, ClusterResult{}, fmt.Errorf("collective: cluster AllToAll requires the Blink backend")
+	}
+	st := e.st.Load()
+	if len(inputs) != st.total {
+		return nil, ClusterResult{}, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), st.total)
+	}
+	n := len(inputs[0])
+	if n == 0 || n%st.total != 0 {
+		return nil, ClusterResult{}, fmt.Errorf("collective: buffer length %d not a positive multiple of %d ranks", n, st.total)
+	}
+	for i, in := range inputs {
+		if len(in) != n {
+			return nil, ClusterResult{}, fmt.Errorf("collective: rank %d buffer length %d != %d", i, len(in), n)
+		}
+	}
+	shard := n / st.total
+	opts.DataMode = true
+	ctx, resolve, err := st.prepareData(b, e.Cfg)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	for g, in := range inputs {
+		bs, local := resolve(g)
+		bs.SetBuffer(local, core.BufData, append([]float32(nil), in...))
+	}
+	res, _, err := e.runCounted(st, b, AllToAll, 0, int64(n)*4, opts, ctx)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+	out := make([][]float32, st.total)
+	for g := range out {
+		sj, m, _ := st.locate(g)
+		o := make([]float32, n)
+		for r := 0; r < st.total; r++ {
+			si, l, _ := st.locate(r)
+			var src []float32
+			if si == sj {
+				src = ctx.Servers[sj].Buffer(m, core.ExchangeTag(l), n)
+			} else {
+				src = ctx.Servers[sj].Buffer(m, core.ClusterExchangeTag(r), n)
+			}
+			copy(o[r*shard:(r+1)*shard], src[g*shard:(g+1)*shard])
+		}
+		out[g] = o
+	}
+	return out, res, nil
 }
 
 // prepareData builds a fresh per-call buffer context for the backend and

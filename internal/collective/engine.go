@@ -7,6 +7,8 @@ package collective
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +49,14 @@ const (
 	ReduceScatter
 	Reduce
 	Scatter
+	// AllToAll exchanges a distinct bytes/N shard between every rank pair.
+	AllToAll
+	// SendRecv forwards one payload along an ordered chain of ranks
+	// (Options.Chain), the building block of pipeline parallelism.
+	SendRecv
+	// NeighborExchange sends each rank's payload to its listed neighbors
+	// (Options.Neighbors), the halo-exchange pattern.
+	NeighborExchange
 )
 
 // String names the op.
@@ -66,6 +76,12 @@ func (o Op) String() string {
 		return "Reduce"
 	case Scatter:
 		return "Scatter"
+	case AllToAll:
+		return "AllToAll"
+	case SendRecv:
+		return "SendRecv"
+	case NeighborExchange:
+		return "NeighborExchange"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -93,6 +109,13 @@ type Options struct {
 	Hybrid bool
 	// DataMode moves real data (functional verification).
 	DataMode bool
+	// Chain is the ordered rank sequence of a SendRecv pipeline (required
+	// for op SendRecv, ignored otherwise).
+	Chain []int
+	// Neighbors is the per-rank send list of a NeighborExchange (required
+	// for op NeighborExchange, ignored otherwise): rank v sends its payload
+	// to every rank in Neighbors[v].
+	Neighbors [][]int
 	// Buffers is the per-call buffer arena a data-mode dispatch executes
 	// against: inputs are installed into it before the call and results read
 	// from it after. It is not part of the plan-cache key — the same frozen
@@ -487,6 +510,7 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 		ChunkBytes:  chunk,
 		DataMode:    opts.DataMode,
 		Hybrid:      opts.Hybrid,
+		Shape:       shapeKey(op, opts),
 	}
 	if opts.DataMode {
 		// Data-mode Exec closures capture this engine's fabric buffers;
@@ -509,11 +533,11 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 
 	switch {
 	case st.switchFabric != nil:
-		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, ro)
+		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, ro, opts)
 	case b == Blink:
 		plan, strategy, err = blinkPlan(st, op, root, bytes, po, opts)
 	default:
-		plan, strategy, err = ncclPlan(st, op, root, bytes, po, ro)
+		plan, strategy, err = ncclPlan(st, op, root, bytes, po, ro, opts)
 	}
 	if err != nil {
 		return nil, false, err
@@ -593,31 +617,132 @@ func runGroup(sizes []int64, run func(int64) (Result, bool, error)) (GroupResult
 	return g, nil
 }
 
+// isP2POp reports whether op is one of the point-to-point exchange
+// collectives (scheduled pairwise rather than over a rooted tree packing).
+func isP2POp(op Op) bool { return op == AllToAll || op == SendRecv || op == NeighborExchange }
+
+// p2pPairs expands a point-to-point op into the directed transfers the
+// NCCL-style ring baseline schedules, plus whether the pairs form an ordered
+// chain. Validation is shared with the core builders so both backends reject
+// malformed shapes identically.
+func p2pPairs(op Op, n int, bytes int64, opts Options) ([]ring.P2PPair, bool, error) {
+	switch op {
+	case AllToAll:
+		perDest := (bytes / 4) / int64(n) * 4
+		if perDest <= 0 {
+			return nil, false, fmt.Errorf("collective: payload %d too small for %d ranks", bytes, n)
+		}
+		var pairs []ring.P2PPair
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					pairs = append(pairs, ring.P2PPair{Src: s, Dst: d, Bytes: perDest})
+				}
+			}
+		}
+		return pairs, false, nil
+	case SendRecv:
+		if err := core.ValidateChain(n, opts.Chain); err != nil {
+			return nil, false, err
+		}
+		var pairs []ring.P2PPair
+		for i := 0; i+1 < len(opts.Chain); i++ {
+			pairs = append(pairs, ring.P2PPair{Src: opts.Chain[i], Dst: opts.Chain[i+1], Bytes: bytes})
+		}
+		return pairs, true, nil
+	case NeighborExchange:
+		if err := core.ValidateNeighbors(n, opts.Neighbors); err != nil {
+			return nil, false, err
+		}
+		var pairs []ring.P2PPair
+		for v, row := range opts.Neighbors {
+			for _, u := range row {
+				pairs = append(pairs, ring.P2PPair{Src: v, Dst: u, Bytes: bytes})
+			}
+		}
+		return pairs, false, nil
+	default:
+		return nil, false, fmt.Errorf("collective: %v is not a point-to-point op", op)
+	}
+}
+
+// shapeKey canonicalizes the chain / neighbor-list identity of a
+// point-to-point op for the plan cache ("" for shapeless ops): two calls
+// with different shapes must never share a frozen schedule.
+func shapeKey(op Op, opts Options) string {
+	var sb strings.Builder
+	switch op {
+	case SendRecv:
+		sb.WriteString("c:")
+		for i, r := range opts.Chain {
+			if i > 0 {
+				sb.WriteByte('>')
+			}
+			sb.WriteString(strconv.Itoa(r))
+		}
+	case NeighborExchange:
+		sb.WriteString("n:")
+		for v, row := range opts.Neighbors {
+			if v > 0 {
+				sb.WriteByte(';')
+			}
+			for i, u := range row {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.Itoa(u))
+			}
+		}
+	}
+	return sb.String()
+}
+
 // blinkPlan compiles a Blink schedule on a point-to-point machine.
 func blinkPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
+	// NVLink alone may not span the allocation: Blink then packs PCIe trees
+	// (and routes point-to-point traffic through the hub).
+	f, packAt, strategy := st.nvlFabric, st.packing, "trees"
 	if !st.nvlConnected {
-		// NVLink alone cannot span the allocation: Blink packs PCIe trees.
-		p, err := st.pciePacking(root)
-		if err != nil {
-			return nil, "", err
-		}
-		return planFor(op, st.pcieFabric, p, bytes, po, "pcie-trees")
+		f, packAt, strategy = st.pcieFabric, st.pciePacking, "pcie-trees"
 	}
-	p, err := st.packing(root)
+	switch op {
+	case AllToAll:
+		plan, err := core.BuildAllToAllPlan(f, packAt, bytes, po)
+		return plan, strategy + "+alltoall", err
+	case SendRecv:
+		plan, err := core.BuildSendRecvChainPlan(f, opts.Chain, bytes, po)
+		return plan, strategy + "+sendrecv", err
+	case NeighborExchange:
+		plan, err := core.BuildNeighborExchangePlan(f, opts.Neighbors, bytes, po)
+		return plan, strategy + "+neighbor", err
+	}
+	p, err := packAt(root)
 	if err != nil {
 		return nil, "", err
 	}
-	if opts.Hybrid && op == Broadcast {
+	if opts.Hybrid && op == Broadcast && st.nvlConnected {
 		// Hybrid is handled by RunHybridBroadcast; plain Run ignores it for
 		// non-broadcast ops.
 		return nil, "", fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
 	}
-	return planFor(op, st.nvlFabric, p, bytes, po, "trees")
+	return planFor(op, f, p, bytes, po, strategy)
 }
 
 // ncclPlan compiles the baseline schedule on a point-to-point machine.
-func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options, opts Options) (*core.Plan, string, error) {
 	rings := st.ncclRings()
+	if isP2POp(op) {
+		pairs, chained, err := p2pPairs(op, st.topo.NumGPUs, bytes, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		if len(rings) == 0 {
+			plan, err := ring.BuildPCIeP2PPlan(st.pcieFabric, st.topo.NumGPUs, pairs, chained, ro)
+			return plan, "pcie-ring", err
+		}
+		plan, err := ring.BuildRingP2PPlan(st.nvlFabric, rings, pairs, chained, ro)
+		return plan, "rings", err
+	}
 	if len(rings) == 0 {
 		// Figure 2b: no NVLink ring -> PCIe fallback.
 		n := st.topo.NumGPUs
@@ -641,16 +766,35 @@ func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions
 }
 
 // switchPlan compiles DGX-2 schedules.
-func switchPlan(st *engineState, b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options) (*core.Plan, string, error) {
+func switchPlan(st *engineState, b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options, opts Options) (*core.Plan, string, error) {
 	if b == Blink {
 		switch op {
 		case Broadcast, Gather, Scatter:
 			p := st.oneHop[root]
 			return planFor(op, st.switchFabric, p, bytes, po, "one-hop")
+		case AllToAll:
+			plan, err := core.BuildAllToAllPlan(st.switchFabric, func(r int) (*core.Packing, error) {
+				return st.oneHop[r], nil
+			}, bytes, po)
+			return plan, "one-hop+alltoall", err
+		case SendRecv:
+			plan, err := core.BuildSendRecvChainPlan(st.switchFabric, opts.Chain, bytes, po)
+			return plan, "one-hop+sendrecv", err
+		case NeighborExchange:
+			plan, err := core.BuildNeighborExchangePlan(st.switchFabric, opts.Neighbors, bytes, po)
+			return plan, "one-hop+neighbor", err
 		default:
 			plan, err := core.BuildDGX2AllReducePlan(st.switchFabric, st.oneHop, bytes, po)
 			return plan, "one-hop", err
 		}
+	}
+	if isP2POp(op) {
+		pairs, chained, err := p2pPairs(op, st.topo.NumGPUs, bytes, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		plan, err := ring.BuildSwitchP2PPlan(st.switchFabric, pairs, chained, ro)
+		return plan, "ring", err
 	}
 	switch op {
 	case Broadcast, Gather, Scatter:

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+
+	"blink/internal/graph"
+	"blink/internal/simgpu"
+)
+
+// Buffer tags for the exchange collectives (AllToAll, NeighborExchange).
+// Each source rank stages and delivers through its own tag so concurrent
+// per-source transfers never collide in the arena. The bases sit far above
+// BufScratchBase+vertex (reduce staging), which is bounded by the parser's
+// device cap, so the ranges are disjoint by construction.
+const (
+	// BufExchangeBase + src tags the receive/staging buffer for payload
+	// originating at local rank src.
+	BufExchangeBase = 1 << 20
+	// BufClusterExchangeBase + globalSrc tags shards received from a remote
+	// server's global rank during a cluster AllToAll. Distinct from
+	// BufExchangeBase so a local source index can never alias a global one.
+	BufClusterExchangeBase = 1 << 21
+)
+
+// ExchangeTag returns the buffer tag holding payload from local rank src.
+func ExchangeTag(src int) int { return BufExchangeBase + src }
+
+// ClusterExchangeTag returns the buffer tag holding shards from global rank
+// src on a remote server (cluster AllToAll phase 2).
+func ClusterExchangeTag(src int) int { return BufClusterExchangeBase + src }
+
+// Extra phase identifiers for exchange-collective stream keys (continuing
+// the phaseBroadcast/phaseReduce/phaseGather sequence in plan.go).
+const (
+	// phaseP2P keys SendRecv-chain and NeighborExchange streams.
+	phaseP2P = 3
+	// phaseExchangeBase + src keys one AllToAll source's scatter streams, so
+	// the n concurrent per-source scatters contend on links, not on streams.
+	phaseExchangeBase = 4
+)
+
+// ValidateChain checks a SendRecv chain over n ranks: at least two stages,
+// every rank in range, no rank visited twice (which also rejects self-loop
+// hops). Shared by the tree and ring schedulers.
+func ValidateChain(n int, chain []int) error {
+	if len(chain) < 2 {
+		return fmt.Errorf("core: chain needs at least 2 ranks, got %d", len(chain))
+	}
+	seen := make(map[int]bool, len(chain))
+	for _, r := range chain {
+		if r < 0 || r >= n {
+			return fmt.Errorf("core: chain rank %d out of range [0,%d)", r, n)
+		}
+		if seen[r] {
+			return fmt.Errorf("core: chain visits rank %d twice", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// ValidateNeighbors checks a neighbor-exchange send list over n ranks: one
+// row per rank, every target in range, no self-loops, no duplicate targets
+// per sender, and at least one pair overall.
+func ValidateNeighbors(n int, neighbors [][]int) error {
+	if len(neighbors) != n {
+		return fmt.Errorf("core: neighbor list has %d rows, want one per rank (%d)", len(neighbors), n)
+	}
+	pairs := 0
+	for v, row := range neighbors {
+		seen := make(map[int]bool, len(row))
+		for _, u := range row {
+			if u < 0 || u >= n {
+				return fmt.Errorf("core: rank %d lists neighbor %d out of range [0,%d)", v, u, n)
+			}
+			if u == v {
+				return fmt.Errorf("core: rank %d lists itself as a neighbor (self-loop)", v)
+			}
+			if seen[u] {
+				return fmt.Errorf("core: rank %d lists neighbor %d twice", v, u)
+			}
+			seen[u] = true
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("core: neighbor exchange with no sends")
+	}
+	return nil
+}
+
+// shortestPath returns the edge IDs of a BFS-shortest route from src to dst,
+// traversing relay vertices (PCIe hubs) where the plane requires it. A clean
+// error is returned when dst is unreachable (disconnected pair).
+func shortestPath(g *graph.Graph, src, dst int) ([]int, error) {
+	if src == dst {
+		return nil, fmt.Errorf("core: route from %d to itself", src)
+	}
+	prevEdge := make([]int, g.N)
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	visited := make([]bool, g.N)
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 && !visited[dst] {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.Out(v) {
+			to := g.Edges[eid].To
+			if !visited[to] {
+				visited[to] = true
+				prevEdge[to] = eid
+				queue = append(queue, to)
+			}
+		}
+	}
+	if !visited[dst] {
+		return nil, fmt.Errorf("core: no route from %d to %d", src, dst)
+	}
+	var path []int
+	for v := dst; v != src; v = g.Edges[prevEdge[v]].From {
+		path = append(path, prevEdge[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// exchangeShardExec builds an Exec closure copying, for each destination
+// rank u in dests, floats [(destBase+u)*perVertex+off, ...+n) from srcTag on
+// device src into dstTag on device dst — one AllToAll tree transfer, where
+// the shard layout is global (destBase shifts local ranks into a cluster's
+// global buffer).
+func (b *planBuilder) exchangeShardExec(src, dst, srcTag, dstTag int, dests []int, perVertex, destBase, off, n, bufLen int) func(*simgpu.BufferSet) {
+	if !b.opts.DataMode {
+		return nil
+	}
+	ds := append([]int(nil), dests...)
+	return func(bufs *simgpu.BufferSet) {
+		sb := bufs.Buffer(src, srcTag, bufLen)
+		db := bufs.Buffer(dst, dstTag, bufLen)
+		for _, u := range ds {
+			base := (destBase + u) * perVertex
+			copy(db[base+off:base+off+n], sb[base+off:base+off+n])
+		}
+	}
+}
+
+// BuildAllToAllPlan compiles a pairwise exchange: every rank scatters a
+// distinct bytes/N shard to every other rank, each source's scatter running
+// over its own packed spanning trees (packFor(root)) concurrently with all
+// the others — the link contention between the n overlapping scatters is
+// exactly what the packing's weights amortize. In data mode rank d receives
+// rank r's shard in Buffer(d, ExchangeTag(r)) at offset d*perDest.
+func BuildAllToAllPlan(f *simgpu.Fabric, packFor func(root int) (*Packing, error), bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	n := ranksOf(f)
+	totalFloats := int(bytes / 4)
+	if totalFloats < n {
+		return nil, fmt.Errorf("core: payload too small (%d bytes for %d devices)", bytes, n)
+	}
+	return buildAllToAll(f, packFor, totalFloats/n, 0, n, opts)
+}
+
+// buildAllToAll is the destBase-parameterized generator shared with the
+// cluster three-phase protocol: each rank's buffer covers bufRanks shards of
+// perDest floats, and the local ranks [0,n) occupy global slots
+// [destBase, destBase+n).
+func buildAllToAll(f *simgpu.Fabric, packFor func(root int) (*Packing, error), perDest, destBase, bufRanks int, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	b := newBuilder(f, opts)
+	n := ranksOf(f)
+	if perDest <= 0 {
+		return nil, fmt.Errorf("core: empty alltoall shard")
+	}
+	bufLen := bufRanks * perDest
+	for r := 0; r < n; r++ {
+		// Self-delivery keeps the data-mode readout uniform: every shard,
+		// own included, lands under the source's exchange tag. Zero-cost
+		// exec-only op, so timing is untouched.
+		if opts.DataMode {
+			r := r
+			b.add(&simgpu.Op{
+				Stream: b.stream(phaseExchangeBase+r, 0, -3000-r, 0, 0),
+				Link:   -1,
+				Exec: func(bufs *simgpu.BufferSet) {
+					in := bufs.Buffer(r, BufData, bufLen)
+					out := bufs.Buffer(r, ExchangeTag(r), bufLen)
+					base := (destBase + r) * perDest
+					copy(out[base:base+perDest], in[base:base+perDest])
+				},
+				Label: fmt.Sprintf("a2a self @%d", r),
+			})
+		}
+		if n == 1 {
+			continue // single-rank server: nothing leaves the device
+		}
+		pk, err := packFor(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: alltoall packing for root %d: %w", r, err)
+		}
+		if pk == nil || len(pk.Trees) == 0 {
+			return nil, fmt.Errorf("core: alltoall packing for root %d is empty", r)
+		}
+		if pk.Root != r {
+			return nil, fmt.Errorf("core: alltoall packing rooted at %d, want %d", pk.Root, r)
+		}
+		if err := emitAllToAllSource(b, pk, r, n, perDest, destBase, bufLen); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan{
+		Ops:        b.ops,
+		TotalBytes: int64(n) * int64(n) * int64(perDest) * 4,
+		Fabric:     f,
+		Streams:    len(b.streams),
+	}, nil
+}
+
+// emitAllToAllSource schedules one source's scatter over its packing, the
+// same subtree-shard emission as BuildScatterPlan but staged through the
+// source's exchange tag so n scatters can share the fabric without aliasing.
+func emitAllToAllSource(b *planBuilder, pk *Packing, src, n, perDest, destBase, bufLen int) error {
+	// As in Scatter, a root-adjacent edge carries up to n-1 shards per
+	// chunk, so scale the chunk unit down by the fan-out.
+	chunkBytes := b.opts.ChunkBytes
+	if unit := chunkBytes / int64(n-1); unit >= 4 {
+		chunkBytes = unit - unit%4
+	} else {
+		chunkBytes = 4
+	}
+	regions := splitRegions(pk.Trees, 0, perDest, chunkBytes)
+	shapes := make([]*treeShape, len(pk.Trees))
+	for i, t := range pk.Trees {
+		s, err := shapeOf(b.g, t.Arbo)
+		if err != nil {
+			return err
+		}
+		shapes[i] = s
+	}
+	subVerts := make([][][]int, len(shapes))
+	for i, s := range shapes {
+		subVerts[i] = s.rankSubtrees(n)
+	}
+	sent := make([]int, b.g.N)
+	maxChunks := 0
+	for _, r := range regions {
+		if r.chunks > maxChunks {
+			maxChunks = r.chunks
+		}
+	}
+	for k := 0; k < maxChunks; k++ {
+		for ti := range pk.Trees {
+			if k >= regions[ti].chunks {
+				continue
+			}
+			s := shapes[ti]
+			soff, nfl := regions[ti].chunkSpan(k, chunkBytes)
+			for vi := range sent {
+				sent[vi] = -1
+			}
+			for _, v := range s.bfs {
+				if v == src {
+					continue
+				}
+				shards := subVerts[ti][v]
+				if len(shards) == 0 {
+					continue // relay-only subtree: nothing to deliver below
+				}
+				eid := s.parentEdge[v]
+				e := b.g.Edges[eid]
+				var deps []int
+				if up := sent[e.From]; up >= 0 {
+					deps = append(deps, up)
+				}
+				srcTag := ExchangeTag(src)
+				if e.From == src {
+					srcTag = BufData // first hop reads the source's input
+				}
+				exec := b.exchangeShardExec(e.From, v, srcTag, ExchangeTag(src),
+					shards, perDest, destBase, soff, nfl, bufLen)
+				sent[v] = b.addTransfer(phaseExchangeBase+src, ti, eid, s.depth[v],
+					int64(len(shards))*int64(nfl)*4, deps, exec,
+					fmt.Sprintf("a2a s%d t%d c%d ->%d", src, ti, k, v))
+			}
+		}
+	}
+	return nil
+}
+
+// BuildSendRecvChainPlan compiles an ordered P2P pipeline: the payload flows
+// chain[0] -> chain[1] -> ... with chunk k forwarded by stage i as soon as
+// stage i-1 delivers it, each hop BFS-routed over the fabric's plane (relay
+// vertices and multi-hop detours included). In data mode every chain member
+// ends holding the payload in BufData.
+func BuildSendRecvChainPlan(f *simgpu.Fabric, chain []int, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	n := ranksOf(f)
+	if err := ValidateChain(n, chain); err != nil {
+		return nil, err
+	}
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	b := newBuilder(f, opts)
+	paths := make([][]int, len(chain)-1)
+	for i := 0; i+1 < len(chain); i++ {
+		p, err := shortestPath(b.g, chain[i], chain[i+1])
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+	chunkFloats := int(opts.ChunkBytes / 4)
+	chunks := (totalFloats + chunkFloats - 1) / chunkFloats
+	prev := make([]int, chunks) // delivery op of chunk k at the previous stage
+	for k := range prev {
+		prev[k] = -1
+	}
+	for i, path := range paths {
+		cur := make([]int, chunks)
+		for k := 0; k < chunks; k++ {
+			off := k * chunkFloats
+			nfl := chunkFloats
+			if rem := totalFloats - off; rem < nfl {
+				nfl = rem
+			}
+			last := -1
+			for j, eid := range path {
+				e := b.g.Edges[eid]
+				var deps []int
+				if j > 0 {
+					deps = []int{last}
+				} else if prev[k] >= 0 {
+					deps = []int{prev[k]}
+				}
+				last = b.addTransfer(phaseP2P, i, eid, j, int64(nfl)*4, deps,
+					b.copyExec(e.From, e.To, BufData, BufData, off, nfl, totalFloats),
+					fmt.Sprintf("chain s%d c%d %d->%d", i, k, e.From, e.To))
+			}
+			cur[k] = last
+		}
+		prev = cur
+	}
+	return &Plan{
+		Ops:        b.ops,
+		TotalBytes: int64(len(paths)) * int64(totalFloats) * 4,
+		Fabric:     f,
+		Streams:    len(b.streams),
+	}, nil
+}
+
+// BuildNeighborExchangePlan compiles a halo exchange: every rank v sends its
+// full payload to each rank in neighbors[v], all pairs concurrently, each
+// BFS-routed and chunk-pipelined. In data mode receiver u finds v's payload
+// in Buffer(u, ExchangeTag(v)).
+func BuildNeighborExchangePlan(f *simgpu.Fabric, neighbors [][]int, bytes int64, opts PlanOptions) (*Plan, error) {
+	opts.setDefaults()
+	n := ranksOf(f)
+	if err := ValidateNeighbors(n, neighbors); err != nil {
+		return nil, err
+	}
+	totalFloats := int(bytes / 4)
+	if totalFloats <= 0 {
+		return nil, fmt.Errorf("core: payload too small (%d bytes)", bytes)
+	}
+	b := newBuilder(f, opts)
+	chunkFloats := int(opts.ChunkBytes / 4)
+	chunks := (totalFloats + chunkFloats - 1) / chunkFloats
+	pairs := 0
+	for v, row := range neighbors {
+		for _, u := range row {
+			path, err := shortestPath(b.g, v, u)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < chunks; k++ {
+				off := k * chunkFloats
+				nfl := chunkFloats
+				if rem := totalFloats - off; rem < nfl {
+					nfl = rem
+				}
+				last := -1
+				for j, eid := range path {
+					e := b.g.Edges[eid]
+					var deps []int
+					if j > 0 {
+						deps = []int{last}
+					}
+					srcTag := ExchangeTag(v)
+					if e.From == v {
+						srcTag = BufData
+					}
+					last = b.addTransfer(phaseP2P, pairs, eid, j, int64(nfl)*4, deps,
+						b.copyExec(e.From, e.To, srcTag, ExchangeTag(v), off, nfl, totalFloats),
+						fmt.Sprintf("halo %d->%d c%d @%d->%d", v, u, k, e.From, e.To))
+				}
+			}
+			pairs++
+		}
+	}
+	return &Plan{
+		Ops:        b.ops,
+		TotalBytes: int64(pairs) * int64(totalFloats) * 4,
+		Fabric:     f,
+		Streams:    len(b.streams),
+	}, nil
+}

@@ -212,6 +212,73 @@ func BuildThreePhaseBroadcast(c *topology.Cluster, fabrics []*simgpu.Fabric, net
 	return tp, nil
 }
 
+// BuildThreePhaseAllToAll compiles the cluster AllToAll. Every global rank
+// owns one shard per global rank inside a totalRanks-shard buffer. Phase 1
+// is each server's local AllToAll over that global buffer (destinations
+// restricted to the server's own rank range); phase 2 ships each ordered
+// server pair's shard block through the datacenter switch. There is no
+// phase 3: remote shards land directly in the receivers' cluster exchange
+// buffers (the data movement happens in the collective layer's exchange
+// closure, timed here by the NIC plan).
+func BuildThreePhaseAllToAll(c *topology.Cluster, fabrics []*simgpu.Fabric, netFab *simgpu.Fabric, packFor PackFn, bytes int64, opts PlanOptions) (*ThreePhasePlans, error) {
+	if len(c.Servers) < 2 {
+		return nil, fmt.Errorf("core: need >= 2 servers")
+	}
+	if len(fabrics) != len(c.Servers) {
+		return nil, fmt.Errorf("core: %d fabrics for %d servers", len(fabrics), len(c.Servers))
+	}
+	opts.setDefaults()
+	total := 0
+	rankBase := make([]int, len(c.Servers))
+	for si, s := range c.Servers {
+		rankBase[si] = total
+		total += s.NumGPUs
+	}
+	totalFloats := int(bytes / 4)
+	if totalFloats < total {
+		return nil, fmt.Errorf("core: payload %d too small for %d ranks", bytes, total)
+	}
+	shard := totalFloats / total
+	tp := &ThreePhasePlans{Partitions: total}
+	tp.PartOffFloats = make([]int, total)
+	tp.PartFloats = make([]int, total)
+	for i := 0; i < total; i++ {
+		tp.PartOffFloats[i], tp.PartFloats[i] = i*shard, shard
+	}
+	for si := range c.Servers {
+		si := si
+		p1, err := buildAllToAll(fabrics[si], func(r int) (*Packing, error) {
+			return packFor(si, r)
+		}, shard, rankBase[si], total, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d local alltoall: %w", si, err)
+		}
+		tp.Phase1 = append(tp.Phase1, p1)
+	}
+	// Phase 2: one transfer per ordered server pair carrying every shard
+	// headed from si's ranks to sj's ranks.
+	var xfers []nicTransfer
+	for si, s := range c.Servers {
+		for sj, d := range c.Servers {
+			if si == sj {
+				continue
+			}
+			xfers = append(xfers, nicTransfer{
+				src:   si,
+				dst:   sj,
+				bytes: int64(s.NumGPUs) * int64(d.NumGPUs) * int64(shard) * 4,
+				group: si,
+			})
+		}
+	}
+	var err error
+	tp.Phase2, err = buildNICExchangePlan(c, netFab, xfers, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
 // resolvePackings collects the per-(server, partition-root) packings,
 // substituting the trivial packing for single-GPU servers.
 func resolvePackings(c *topology.Cluster, packFor PackFn, tp *ThreePhasePlans) ([][]*Packing, error) {

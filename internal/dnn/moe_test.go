@@ -1,0 +1,148 @@
+package dnn
+
+import (
+	"testing"
+
+	"blink/internal/collective"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+func moeEngine(t *testing.T) *collective.Engine {
+	t.Helper()
+	eng, err := collective.NewEngine(topology.DGX1V(), []int{0, 1, 2, 3, 4, 5, 6, 7}, simgpu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestMoETrainStep(t *testing.T) {
+	eng := moeEngine(t)
+	cfg := MoEConfig{
+		Layers:         4,
+		TokensPerGPU:   4096,
+		ModelDim:       1024,
+		ExpertSeconds:  2e-3,
+		DenseGradBytes: 64 << 20,
+	}
+	st, err := MoETrainStep(eng, collective.Blink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DispatchSeconds <= 0 || st.CombineSeconds <= 0 || st.AllReduceSeconds <= 0 {
+		t.Fatalf("missing step parts: %+v", st)
+	}
+	if st.ExpertSeconds != 4*cfg.ExpertSeconds {
+		t.Fatalf("expert compute = %v, want %v", st.ExpertSeconds, 4*cfg.ExpertSeconds)
+	}
+	want := st.DispatchSeconds + st.CombineSeconds + st.ExpertSeconds + st.AllReduceSeconds
+	if st.StepSeconds != want {
+		t.Fatalf("step %v != sum of parts %v", st.StepSeconds, want)
+	}
+	if st.CommFrac <= 0 || st.CommFrac >= 1 {
+		t.Fatalf("comm fraction = %v", st.CommFrac)
+	}
+	if st.Strategy == "" {
+		t.Fatal("no strategy recorded")
+	}
+	// A second step replays frozen plans for every collective.
+	before := eng.CacheStats()
+	if _, err := MoETrainStep(eng, collective.Blink, cfg); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.CacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("warm MoE step recompiled: %+v -> %+v", before, after)
+	}
+	if after.Hits == before.Hits {
+		t.Fatalf("warm MoE step missed the plan cache: %+v", after)
+	}
+}
+
+func TestMoETrainStepBlinkVsNCCL(t *testing.T) {
+	eng := moeEngine(t)
+	cfg := MoEConfig{Layers: 2, TokensPerGPU: 16384, ModelDim: 1024, ExpertSeconds: 1e-3}
+	blink, err := MoETrainStep(eng, collective.Blink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nccl, err := MoETrainStep(eng, collective.NCCL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blink.StepSeconds > nccl.StepSeconds {
+		t.Fatalf("Blink MoE step %v slower than ring baseline %v", blink.StepSeconds, nccl.StepSeconds)
+	}
+}
+
+func TestMoETrainStepRejectsBadConfig(t *testing.T) {
+	eng := moeEngine(t)
+	for _, cfg := range []MoEConfig{
+		{},
+		{Layers: 1, TokensPerGPU: 0, ModelDim: 8},
+		{Layers: 0, TokensPerGPU: 8, ModelDim: 8},
+	} {
+		if _, err := MoETrainStep(eng, collective.Blink, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPipelineTrainStep(t *testing.T) {
+	eng := moeEngine(t)
+	cfg := PipelineConfig{
+		Stages:          []int{0, 3, 5, 7},
+		MicroBatches:    8,
+		ActivationBytes: 8 << 20,
+		StageSeconds:    1e-3,
+		SharedGradBytes: 16 << 20,
+	}
+	st, err := PipelineTrainStep(eng, collective.Blink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HopSeconds <= 0 || st.AllReduceSeconds <= 0 {
+		t.Fatalf("missing step parts: %+v", st)
+	}
+	if st.FwdSlot <= cfg.StageSeconds || st.BwdSlot <= 2*cfg.StageSeconds {
+		t.Fatalf("slots must include the hand-off: %+v", st)
+	}
+	// GPipe bubble: (s-1)/(m+s-1) with s=4 stages, m=8 microbatches.
+	if want := 3.0 / 11.0; st.BubbleFrac != want {
+		t.Fatalf("bubble fraction = %v, want %v", st.BubbleFrac, want)
+	}
+	if st.StepSeconds <= st.BubbleSeconds+st.AllReduceSeconds {
+		t.Fatalf("step time %v inconsistent with bubble %v", st.StepSeconds, st.BubbleSeconds)
+	}
+
+	// More microbatches shrink the relative bubble but not the absolute one.
+	cfg2 := cfg
+	cfg2.MicroBatches = 32
+	st2, err := PipelineTrainStep(eng, collective.Blink, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.BubbleFrac >= st.BubbleFrac {
+		t.Fatalf("bubble fraction should fall with more microbatches: %v >= %v",
+			st2.BubbleFrac, st.BubbleFrac)
+	}
+	if st2.BubbleSeconds != st.BubbleSeconds {
+		t.Fatalf("absolute bubble changed with microbatch count: %v != %v",
+			st2.BubbleSeconds, st.BubbleSeconds)
+	}
+}
+
+func TestPipelineTrainStepRejectsBadConfig(t *testing.T) {
+	eng := moeEngine(t)
+	for _, cfg := range []PipelineConfig{
+		{Stages: []int{0}, MicroBatches: 1, ActivationBytes: 1024},
+		{Stages: []int{0, 1}, MicroBatches: 0, ActivationBytes: 1024},
+		{Stages: []int{0, 1}, MicroBatches: 1},
+		{Stages: []int{0, 0}, MicroBatches: 1, ActivationBytes: 1024},
+	} {
+		if _, err := PipelineTrainStep(eng, collective.Blink, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ring
+
+import (
+	"fmt"
+
+	"blink/internal/core"
+	"blink/internal/simgpu"
+)
+
+// P2PPair is one directed point-to-point transfer of the baseline scheduler.
+type P2PPair struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// pathHops returns the hop indices walking the ring forward from src to dst.
+func (lr logicalRing) pathHops(src, dst int) ([]int, error) {
+	si := -1
+	for i, v := range lr.verts {
+		if v == src {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return nil, fmt.Errorf("ring: vertex %d not on ring", src)
+	}
+	var hops []int
+	for i := si; lr.verts[i] != dst; i = (i + 1) % len(lr.verts) {
+		hops = append(hops, i)
+		if len(hops) >= len(lr.verts) {
+			return nil, fmt.Errorf("ring: vertex %d not on ring", dst)
+		}
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("ring: transfer %d->%d to itself", src, dst)
+	}
+	return hops, nil
+}
+
+// buildRingP2P schedules each pair's payload store-and-forward along a ring,
+// walking hop by hop through every intermediate rank exactly as NCCL's ring
+// channels move point-to-point traffic. Pairs are assigned to rings
+// round-robin and chunk-pipelined along their path. With chained set, pair
+// i+1's chunk k additionally waits on pair i's chunk k delivery — the
+// ordered stage semantics of a send/recv pipeline.
+func buildRingP2P(f *simgpu.Fabric, lrs []logicalRing, pairs []P2PPair, chained bool, opts Options) (*core.Plan, error) {
+	opts.setDefaults()
+	if len(lrs) == 0 {
+		return nil, fmt.Errorf("ring: no rings available")
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("ring: no transfers")
+	}
+	b := newBuilder(f, opts)
+	chunkFloats := int(opts.ChunkBytes / 4)
+	var total int64
+	var prevDelivery []int // per-chunk delivery ops of the previous pair
+	for pi, p := range pairs {
+		floats := int(p.Bytes / 4)
+		if floats <= 0 {
+			return nil, fmt.Errorf("ring: transfer %d->%d too small (%d bytes)", p.Src, p.Dst, p.Bytes)
+		}
+		lr := lrs[pi%len(lrs)]
+		hops, err := lr.pathHops(p.Src, p.Dst)
+		if err != nil {
+			return nil, err
+		}
+		chunks := (floats + chunkFloats - 1) / chunkFloats
+		delivery := make([]int, chunks)
+		for k := 0; k < chunks; k++ {
+			cn := chunkFloats
+			if rem := floats - k*chunkFloats; rem < cn {
+				cn = rem
+			}
+			last := -1
+			for s, h := range hops {
+				var deps []int
+				if s > 0 {
+					deps = []int{last}
+				} else if chained && pi > 0 && k < len(prevDelivery) {
+					deps = []int{prevDelivery[k]}
+				}
+				last = b.addHop(pi, s, pi%len(lrs), lr.hops[h], int64(cn)*4, deps, nil,
+					fmt.Sprintf("p2p %d->%d c%d h%d", p.Src, p.Dst, k, s))
+			}
+			delivery[k] = last
+		}
+		prevDelivery = delivery
+		total += p.Bytes
+	}
+	return &core.Plan{Ops: b.ops, TotalBytes: total, Fabric: f, Streams: len(b.streams)}, nil
+}
+
+// BuildRingP2PPlan schedules pairs over NVLink rings (the NCCL baseline for
+// AllToAll, SendRecv chains and neighbor exchange on ring-capable fabrics).
+func BuildRingP2PPlan(f *simgpu.Fabric, rings []Ring, pairs []P2PPair, chained bool, opts Options) (*core.Plan, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("ring: no rings available")
+	}
+	lrs := make([]logicalRing, len(rings))
+	for i, r := range rings {
+		lrs[i] = fromRing(r)
+	}
+	return buildRingP2P(f, lrs, pairs, chained, opts)
+}
+
+// BuildPCIeP2PPlan schedules pairs over the PCIe fallback ring.
+func BuildPCIeP2PPlan(f *simgpu.Fabric, nGPUs int, pairs []P2PPair, chained bool, opts Options) (*core.Plan, error) {
+	lr, err := PCIeRing(f.Graph, nGPUs)
+	if err != nil {
+		return nil, err
+	}
+	return buildRingP2P(f, []logicalRing{lr}, pairs, chained, opts)
+}
+
+// BuildSwitchP2PPlan schedules pairs over the natural switch-fabric ring.
+func BuildSwitchP2PPlan(f *simgpu.Fabric, pairs []P2PPair, chained bool, opts Options) (*core.Plan, error) {
+	lr, err := SwitchRing(f.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return buildRingP2P(f, []logicalRing{lr}, pairs, chained, opts)
+}

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"blink/internal/collective"
+	"blink/internal/core"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// TestPropertyAllToAllDerivedTopologies is the randomized cross-check for
+// the pairwise-exchange scheduler: starting from a DGX-1V or a random
+// custom fabric, apply a random derivation sequence (WithoutLink /
+// WithLinkUnits / WithoutDevice), reconfigure, then run a data-mode
+// AllToAll with a random shard size. Every case must either produce an
+// elementwise-exact shard permutation on every surviving rank with a
+// packing that satisfies the §3.2 invariants, or fail with a clean error —
+// never panic, never a silently wrong shard.
+func TestPropertyAllToAllDerivedTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	const cases = 25
+	for ci := 0; ci < cases; ci++ {
+		var machine *topology.Topology
+		var err error
+		if ci%2 == 0 {
+			machine = topology.DGX1V()
+		} else {
+			machine, err = topology.Parse(randomConnectedSpec(rng, 4+rng.Intn(5)))
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+		}
+		devs := append([]int(nil), rng.Perm(machine.NumGPUs)...)
+		eng, err := collective.NewEngine(machine, devs, simgpu.Config{DataMode: true})
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+
+		cur := machine
+		steps := 1 + rng.Intn(3)
+		for s := 0; s < steps; s++ {
+			a, b := rng.Intn(cur.NumGPUs), rng.Intn(cur.NumGPUs)
+			var derived *topology.Topology
+			switch rng.Intn(3) {
+			case 0:
+				derived, err = cur.WithoutLink(cur.DevIDs[a], cur.DevIDs[b%len(cur.DevIDs)])
+			case 1:
+				derived, err = cur.WithLinkUnits(cur.DevIDs[a], cur.DevIDs[b%len(cur.DevIDs)], 0.5)
+			default:
+				dead := cur.DevIDs[rng.Intn(len(cur.DevIDs))]
+				derived, err = cur.WithoutDevice(dead)
+				if err == nil {
+					var keep []int
+					for _, d := range devs {
+						if d != dead {
+							keep = append(keep, d)
+						}
+					}
+					devs = keep
+				}
+			}
+			if err != nil {
+				continue // clean derivation error: fine
+			}
+			cur = derived
+		}
+		if len(devs) < 2 {
+			continue
+		}
+		if err := eng.Reconfigure(cur, devs); err != nil {
+			// A clean reconfiguration error must leave the engine usable.
+			runDataAllToAll(t, rng, eng, ci, "post-failed-reconfigure")
+			continue
+		}
+
+		runDataAllToAll(t, rng, eng, ci, "post-reconfigure")
+
+		g := eng.Topo().GPUGraph()
+		if !eng.NVLinkConnected() {
+			g = eng.Topo().PCIeGraph()
+		}
+		for root := 0; root < eng.Topo().NumGPUs; root++ {
+			pk, err := eng.Packing(root)
+			if err != nil {
+				t.Fatalf("case %d: packing root %d on %s: %v", ci, root, eng.Topo().Name, err)
+			}
+			if err := CheckPacking(g, pk); err != nil {
+				t.Fatalf("case %d root %d on %s: %v", ci, root, eng.Topo().Name, err)
+			}
+		}
+	}
+}
+
+// runDataAllToAll checks the elementwise-exact AllToAll postcondition on
+// the engine's current topology with a random shard size: rank d must end
+// with every rank r's d-th shard under ExchangeTag(r).
+func runDataAllToAll(t *testing.T, rng *rand.Rand, eng *collective.Engine, ci int, tag string) {
+	t.Helper()
+	ranks := eng.Topo().NumGPUs
+	shard := 1 + rng.Intn(257)
+	chunk := int64(4 * (1 + rng.Intn(128)))
+	total := shard * ranks
+	bufs := simgpu.NewBufferSet()
+	inputs := make([][]float32, ranks)
+	for v := 0; v < ranks; v++ {
+		in := make([]float32, total)
+		for i := range in {
+			in[i] = float32(rng.Intn(128))
+		}
+		inputs[v] = in
+		bufs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
+	}
+	if _, err := eng.Run(collective.Blink, collective.AllToAll, 0, int64(total)*4,
+		collective.Options{ChunkBytes: chunk, DataMode: true, Buffers: bufs}); err != nil {
+		t.Fatalf("case %d (%s, %s): alltoall: %v", ci, tag, eng.Topo().Name, err)
+	}
+	for d := 0; d < ranks; d++ {
+		for r := 0; r < ranks; r++ {
+			got := bufs.Buffer(d, core.ExchangeTag(r), total)
+			for i := 0; i < shard; i++ {
+				if got[d*shard+i] != inputs[r][d*shard+i] {
+					t.Fatalf("case %d (%s, %s shard %d chunk %d): dest %d src %d float %d = %v, want %v",
+						ci, tag, eng.Topo().Name, shard, chunk, d, r, i,
+						got[d*shard+i], inputs[r][d*shard+i])
+				}
+			}
+		}
+	}
+}
