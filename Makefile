@@ -6,8 +6,9 @@ GO ?= go
 COVER_FLOOR_COLLECTIVE ?= 80
 COVER_FLOOR_CORE ?= 78
 COVER_FLOOR_DNN ?= 70
+COVER_FLOOR_OBS ?= 85
 
-.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke ci
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke ci
 
 all: build test
 
@@ -23,12 +24,12 @@ test:
 # very slow under -race, so target the public API plus every package with
 # concurrent or data-moving paths.
 race:
-	$(GO) test -race -shuffle=on . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/... ./internal/trace/... ./internal/topology/...
+	$(GO) test -race -shuffle=on . ./internal/collective/... ./internal/core/... ./internal/simgpu/... ./internal/dnn/... ./internal/cluster/... ./internal/verify/... ./internal/ring/... ./internal/trace/... ./internal/topology/... ./internal/obs/...
 
 # Statement-coverage gate for the scheduling/runtime core packages.
 cover:
 	@set -e; \
-	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)" "./internal/dnn $(COVER_FLOOR_DNN)"; do \
+	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)" "./internal/dnn $(COVER_FLOOR_DNN)" "./internal/obs $(COVER_FLOOR_OBS)"; do \
 		set -- $$spec; pkg=$$1; floor=$$2; \
 		out=$$($(GO) test -cover $$pkg) || { echo "$$out"; echo "tests of $$pkg failed"; exit 1; }; \
 		line=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%'); \
@@ -100,4 +101,14 @@ mixed:
 mixed-smoke:
 	$(GO) run ./cmd/blinkbench -mixed -o /dev/null
 
-ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke
+obs:
+	$(GO) run ./cmd/blinkbench -obs -o BENCH_obs.txt
+
+# CI replay-determinism gate: run the same seeded fault-injected training
+# simulation twice and exit non-zero if the two timeline hashes (or the
+# serialized evidence files) differ — any nondeterminism in what the
+# planner scheduled or the simulator timed fails the build.
+obs-smoke:
+	$(GO) run ./cmd/blinkbench -obs -o /dev/null
+
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke

@@ -21,11 +21,14 @@ package blink
 
 import (
 	"fmt"
+	"io"
 
 	"blink/internal/collective"
 	"blink/internal/core"
+	"blink/internal/obs"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
+	"blink/internal/trace"
 )
 
 // Machine is a hardware topology description (DGX-1P, DGX-1V, DGX-2 or a
@@ -60,6 +63,30 @@ type GroupResult = collective.GroupResult
 
 // CacheStats snapshots a communicator's plan-cache counters.
 type CacheStats = collective.CacheStats
+
+// MetricsRegistry is a communicator's live metric registry: plan-cache
+// attribution, compile/replay counts, replan latency, async stream gauges
+// and per-op simulated-makespan histograms. Export with Snapshot(),
+// WritePrometheus or WriteJSON.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every metric in a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Timeline is a communicator's per-op span recorder (see EnableTimeline).
+type Timeline = obs.Timeline
+
+// Span is one op's structured timeline entry: queue → dispatch →
+// chunk-progress events → completion, with cache attribution and the
+// simulated makespan.
+type Span = obs.Span
+
+// WriteSpanTrace renders spans as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto): one swimlane per async stream, sync
+// dispatches on lane 0, with queue-wait and execution as separate events.
+func WriteSpanTrace(w io.Writer, spans []Span) error {
+	return trace.FromSpans(spans).Write(w)
+}
 
 // Option customizes a Comm.
 type Option func(*commConfig)
@@ -223,6 +250,23 @@ func (c *Comm) AllReduceMany(sizes []int64) (GroupResult, error) {
 // collectives that skipped TreeGen/minimize/CodeGen and replayed a frozen
 // schedule.
 func (c *Comm) CacheStats() CacheStats { return c.eng.CacheStats() }
+
+// Metrics returns the communicator's live metric registry. Reading it is
+// always safe; metrics are recorded whether or not anyone looks.
+func (c *Comm) Metrics() *MetricsRegistry { return c.eng.Metrics() }
+
+// MetricsSnapshot copies every metric's current value, for export via
+// WritePrometheus (Prometheus text exposition) or WriteJSON.
+func (c *Comm) MetricsSnapshot() MetricsSnapshot { return c.eng.Metrics().Snapshot() }
+
+// EnableTimeline switches on per-op span recording (off by default — spans
+// accumulate in memory for the life of the communicator) and returns the
+// timeline. Idempotent; dispatches before the first call are not recorded.
+func (c *Comm) EnableTimeline() *Timeline { return c.eng.EnableTimeline() }
+
+// Timeline returns the communicator's span timeline, nil unless
+// EnableTimeline was called.
+func (c *Comm) Timeline() *Timeline { return c.eng.Timeline() }
 
 // AllGather concatenates every rank's share on all ranks.
 func (c *Comm) AllGather(bytes int64) (Result, error) {
@@ -866,6 +910,19 @@ func (c *ClusterComm) ReconfigureWithoutServer(server int) error {
 
 // CacheStats snapshots the communicator's plan-cache counters.
 func (c *ClusterComm) CacheStats() CacheStats { return c.eng.CacheStats() }
+
+// Metrics returns the communicator's live metric registry.
+func (c *ClusterComm) Metrics() *MetricsRegistry { return c.eng.Metrics() }
+
+// MetricsSnapshot copies every metric's current value.
+func (c *ClusterComm) MetricsSnapshot() MetricsSnapshot { return c.eng.Metrics().Snapshot() }
+
+// EnableTimeline switches on per-op span recording and returns the
+// timeline (see Comm.EnableTimeline).
+func (c *ClusterComm) EnableTimeline() *Timeline { return c.eng.EnableTimeline() }
+
+// Timeline returns the span timeline, nil unless EnableTimeline was called.
+func (c *ClusterComm) Timeline() *Timeline { return c.eng.Timeline() }
 
 // Engine exposes the underlying cluster engine (for benchmarks and
 // training simulations that need grouped dispatch with explicit backends).

@@ -12,6 +12,7 @@
 //	blinkbench -resilience -o BENCH_resilience.json  # training across mid-run faults
 //	blinkbench -async -o BENCH_async.json            # async-stream overlap + dispatch throughput
 //	blinkbench -mixed -o BENCH_mixed.json            # AllToAll / SendRecv / NeighborExchange vs flat ring
+//	blinkbench -obs -o BENCH_obs.txt                 # replay-determinism gate + metrics + span dump
 package main
 
 import (
@@ -31,7 +32,8 @@ func main() {
 	resilience := flag.Bool("resilience", false, "benchmark training runs surviving mid-run topology faults and emit JSON")
 	async := flag.Bool("async", false, "benchmark async-stream overlap and dispatch throughput and emit JSON")
 	mixed := flag.Bool("mixed", false, "benchmark AllToAll/SendRecv/NeighborExchange vs the flat-ring baseline and emit JSON")
-	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed ('-' = stdout)")
+	obsFlag := flag.Bool("obs", false, "run the seeded replay-determinism gate and emit metrics + span dump")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed/-obs ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -56,6 +58,10 @@ func main() {
 	}
 	if *mixed {
 		mixedMain(*out)
+		return
+	}
+	if *obsFlag {
+		obsMain(*out)
 		return
 	}
 

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"blink/internal/cluster"
+	"blink/internal/collective"
+	"blink/internal/dnn"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+	"blink/internal/trace"
+)
+
+// runObsBench drives the observability stack end to end and doubles as the
+// CI replay-determinism gate: one seeded fault-injected training run
+// executes twice, and the two runs must agree on the timeline hash and
+// serialize byte-identical evidence — any divergence in what was scheduled
+// or simulated fails the gate. The report carries the evidence artifact,
+// the determinism verdict, the engine's metrics in the Prometheus text
+// exposition, the full span dump, and the span-derived Chrome trace.
+func runObsBench(out io.Writer) error {
+	const (
+		seed        = int64(2026)
+		bucketBytes = int64(25 << 20)
+		iters       = 8
+	)
+	machine := topology.DGX1V()
+	alloc := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	model := dnn.ResNet50()
+
+	// One seeded random fault schedule: the same seed must reproduce the
+	// same faults, the same replans and therefore the same timeline.
+	scheds, err := cluster.RandomFaultSchedules(machine, alloc, iters, 1, seed)
+	if err != nil {
+		return err
+	}
+	sched := scheds[0]
+	base := time.Now()
+	clock := func() float64 { return time.Since(base).Seconds() }
+	runOnce := func() (dnn.ObservedFaultRun, error) {
+		return dnn.SimulateTrainingRunWithFaultsObserved(machine, alloc, collective.Blink,
+			model, bucketBytes, iters, sched, simgpu.Config{}, clock, seed)
+	}
+
+	r1, err := runOnce()
+	if err != nil {
+		return err
+	}
+	r2, err := runOnce()
+	if err != nil {
+		return err
+	}
+
+	var ev1, ev2 strings.Builder
+	if err := r1.Evidence.WriteJSON(&ev1); err != nil {
+		return err
+	}
+	if err := r2.Evidence.WriteJSON(&ev2); err != nil {
+		return err
+	}
+	if r1.Evidence.TimelineHash != r2.Evidence.TimelineHash {
+		return fmt.Errorf("replay determinism violated: timeline hash %s != %s",
+			r1.Evidence.TimelineHash, r2.Evidence.TimelineHash)
+	}
+	if ev1.String() != ev2.String() {
+		return fmt.Errorf("replay determinism violated: evidence files differ byte-wise")
+	}
+	if len(r1.Spans) == 0 {
+		return fmt.Errorf("observed run recorded no spans")
+	}
+
+	fmt.Fprintf(out, "# blinkbench -obs: seeded replay-determinism gate\n")
+	fmt.Fprintf(out, "# schedule %q, seed %d, %d iterations, %d spans\n",
+		sched.Name, seed, iters, len(r1.Spans))
+	fmt.Fprintf(out, "# run 1 hash %s\n", r1.Evidence.TimelineHash)
+	fmt.Fprintf(out, "# run 2 hash %s\n", r2.Evidence.TimelineHash)
+	fmt.Fprintf(out, "# verdict: MATCH (evidence fingerprint %s)\n\n", r1.Evidence.Fingerprint())
+
+	fmt.Fprintf(out, "## evidence (deterministic JSON)\n")
+	if _, err := io.WriteString(out, ev1.String()); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\n## metrics (Prometheus text exposition)\n")
+	if err := r1.Registry.WritePrometheus(out); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\n## spans (OTel-like span dump)\n")
+	if err := spansJSON(out, r1); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\n## chrome trace (span swimlanes)\n")
+	return trace.FromSpans(r1.Spans).Write(out)
+}
+
+// spansJSON dumps the run's spans as an indented JSON array.
+func spansJSON(w io.Writer, r dnn.ObservedFaultRun) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Spans)
+}
+
+// obsMain handles the -obs flag: write the report to path (or stdout when
+// path is "-"), exiting non-zero when the determinism gate fails.
+func obsMain(path string) {
+	writeReport(path, "obs", runObsBench)
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"blink/internal/core"
+	"blink/internal/obs"
 	"blink/internal/simgpu"
 )
 
@@ -89,6 +90,48 @@ type PlanCache struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// obs mirrors the counters into a metrics registry (Instrument). The
+	// handles are resolved once and atomic thereafter; a zero cacheMetrics
+	// (uninstrumented cache) updates unregistered standalone metrics, so
+	// the hot path never branches on observability.
+	obs atomic.Pointer[cacheMetrics]
+}
+
+// cacheMetrics is the registry-resolved handle bundle of one PlanCache.
+type cacheMetrics struct {
+	lookups, hits, misses, evictions, invalidated *obs.Counter
+	entries                                       *obs.Gauge
+}
+
+// Instrument mirrors the cache's activity into reg under the
+// blink_plan_cache_* metric family. Instrumenting an already-active cache
+// is safe (counters continue from zero in the registry); re-instrumenting
+// swaps the target registry atomically.
+func (c *PlanCache) Instrument(reg *obs.Registry) {
+	c.obs.Store(&cacheMetrics{
+		lookups:     reg.Counter("blink_plan_cache_lookups_total"),
+		hits:        reg.Counter("blink_plan_cache_hits_total"),
+		misses:      reg.Counter("blink_plan_cache_misses_total"),
+		evictions:   reg.Counter("blink_plan_cache_evictions_total"),
+		invalidated: reg.Counter("blink_plan_cache_invalidated_total"),
+		entries:     reg.Gauge("blink_plan_cache_entries"),
+	})
+}
+
+// metrics returns the instrumented handles (never nil; an uninstrumented
+// cache gets lazily initialized no-op standalone metrics).
+func (c *PlanCache) metrics() *cacheMetrics {
+	if m := c.obs.Load(); m != nil {
+		return m
+	}
+	m := &cacheMetrics{
+		lookups: &obs.Counter{}, hits: &obs.Counter{}, misses: &obs.Counter{},
+		evictions: &obs.Counter{}, invalidated: &obs.Counter{}, entries: &obs.Gauge{},
+	}
+	// Racing stores are both valid no-op bundles; either wins harmlessly.
+	c.obs.CompareAndSwap(nil, m)
+	return c.metrics()
 }
 
 type cacheEntry struct {
@@ -118,11 +161,15 @@ func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
 		v = el.Value.(*cacheEntry).value
 	}
 	c.mu.Unlock()
+	m := c.metrics()
+	m.lookups.Inc()
 	if !ok {
 		c.misses.Add(1)
+		m.misses.Inc()
 		return nil, false
 	}
 	c.hits.Add(1)
+	m.hits.Inc()
 	return v, true
 }
 
@@ -140,6 +187,7 @@ func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
 		return
 	}
 	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, value: v})
+	m := c.metrics()
 	for len(c.entries) > c.capacity {
 		back := c.order.Back()
 		if back == nil {
@@ -148,7 +196,9 @@ func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
+		m.evictions.Inc()
 	}
+	m.entries.Set(int64(len(c.entries)))
 }
 
 // InvalidateFingerprint drops every plan compiled for the given topology
@@ -171,6 +221,9 @@ func (c *PlanCache) InvalidateFingerprint(fp string) int {
 		}
 		el = next
 	}
+	m := c.metrics()
+	m.invalidated.Add(uint64(removed))
+	m.entries.Set(int64(len(c.entries)))
 	return removed
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blink/internal/core"
+	"blink/internal/obs"
 	"blink/internal/ring"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
@@ -40,6 +42,14 @@ type ClusterEngine struct {
 
 	// async is the lazily started stream scheduler behind RunAsync.
 	async asyncRuntime
+
+	// Observability state, mirroring Engine: a per-communicator metrics
+	// registry, an optional span timeline, and registry-resolved dispatch
+	// metric handles.
+	obsReg                        *obs.Registry
+	tl                            atomic.Pointer[obs.Timeline]
+	mCompiles, mReplays, mReplans *obs.Counter
+	mReplanSeconds                *obs.Histogram
 }
 
 // clusterState is everything a ClusterEngine derives from its cluster
@@ -115,9 +125,39 @@ func NewClusterEngine(c *topology.Cluster, cfg simgpu.Config) (*ClusterEngine, e
 		cache:  NewPlanCache(DefaultPlanCacheCapacity),
 		id:     engineIDs.Add(1),
 		cfgKey: cfg.Normalized(),
+		obsReg: obs.NewRegistry(),
 	}
+	e.mCompiles = e.obsReg.Counter("blink_plan_compiles_total")
+	e.mReplays = e.obsReg.Counter("blink_plan_replays_total")
+	e.mReplans = e.obsReg.Counter("blink_replans_total")
+	e.mReplanSeconds = e.obsReg.Histogram("blink_replan_seconds", nil)
+	e.cache.Instrument(e.obsReg)
 	e.st.Store(st)
 	return e, nil
+}
+
+// Metrics returns the cluster engine's metrics registry (see
+// Engine.Metrics).
+func (e *ClusterEngine) Metrics() *obs.Registry { return e.obsReg }
+
+// EnableTimeline switches on per-op span recording and returns the
+// timeline; idempotent (see Engine.EnableTimeline).
+func (e *ClusterEngine) EnableTimeline() *obs.Timeline {
+	if t := e.tl.Load(); t != nil {
+		return t
+	}
+	e.tl.CompareAndSwap(nil, obs.NewTimeline())
+	return e.tl.Load()
+}
+
+// Timeline returns the span timeline (nil unless EnableTimeline was called).
+func (e *ClusterEngine) Timeline() *obs.Timeline { return e.tl.Load() }
+
+func (e *ClusterEngine) timeline() *obs.Timeline { return e.tl.Load() }
+
+// opHist resolves the per-op simulated-makespan histogram.
+func (e *ClusterEngine) opHist(op Op) *obs.Histogram {
+	return e.obsReg.Histogram(`blink_op_sim_seconds{op="`+op.String()+`"}`, nil)
 }
 
 // Reconfigure swaps the engine onto a new cluster topology (typically one
@@ -132,6 +172,7 @@ func (e *ClusterEngine) Reconfigure(c *topology.Cluster) error {
 }
 
 func (e *ClusterEngine) reconfigureLocked(c *topology.Cluster) error {
+	start := time.Now()
 	old := e.st.Load()
 	// Servers whose induced topology instance survives the reconfiguration
 	// (e.g. everyone but the lost server) keep their engines and therefore
@@ -148,6 +189,8 @@ func (e *ClusterEngine) reconfigureLocked(c *topology.Cluster) error {
 	if st.fingerprint != old.fingerprint {
 		e.cache.InvalidateFingerprint(old.fingerprint)
 	}
+	e.mReplans.Inc()
+	e.mReplanSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -388,21 +431,33 @@ func (e *ClusterEngine) Run(b Backend, op Op, root int, bytes int64, opts Option
 // snapshot, so a concurrent Reconfigure never mixes cluster geometries
 // within a call.
 func (e *ClusterEngine) runCounted(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers) (ClusterResult, bool, error) {
-	return e.runCountedHooked(st, b, op, root, bytes, opts, ctx, nil)
+	rec := e.timeline().Begin(op.String(), b.String(), -1, bytes)
+	return e.runObserved(st, b, op, root, bytes, opts, ctx, nil, rec)
 }
 
-// runCountedHooked is runCounted with an optional chunk-granular progress
-// hook threaded through every phase replay (see Engine.runCountedHooked).
-func (e *ClusterEngine) runCountedHooked(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers, hook core.ReplayHook) (ClusterResult, bool, error) {
+// runObserved is the fully instrumented cluster dispatch: an optional
+// chunk-granular progress hook threaded through every phase replay plus an
+// optional span recorder (see Engine.runObserved).
+func (e *ClusterEngine) runObserved(st *clusterState, b Backend, op Op, root int, bytes int64, opts Options, ctx *ClusterBuffers, hook core.ReplayHook, rec *obs.SpanRecorder) (ClusterResult, bool, error) {
+	rec.Dispatch()
 	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
+		rec.Complete("", false, 0, err)
 		return ClusterResult{}, false, err
 	}
+	if hit {
+		e.mReplays.Inc()
+	} else {
+		e.mCompiles.Inc()
+	}
 	plan := cp.ClusterPlan
-	t, err := plan.ReplayDataHooked(ctx, hook)
+	t, err := plan.ReplayDataHooked(ctx, chainHooks(hook, rec.ChunkHook()))
 	if err != nil {
+		rec.Complete(cp.Strategy, hit, 0, err)
 		return ClusterResult{}, hit, err
 	}
+	e.opHist(op).Observe(t.Total)
+	rec.Complete(cp.Strategy, hit, t.Total, nil)
 	out := ClusterResult{
 		Result:     Result{Seconds: t.Total, Bytes: bytes, Strategy: cp.Strategy},
 		Phase1:     t.Phase1,

@@ -11,9 +11,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blink/internal/core"
 	"blink/internal/graph"
+	"blink/internal/obs"
 	"blink/internal/ring"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
@@ -196,6 +198,18 @@ type Engine struct {
 
 	// async is the lazily started stream scheduler behind RunAsync.
 	async asyncRuntime
+
+	// obsReg is the engine's metrics registry: cache, stream and dispatch
+	// metrics all land here. It exists from construction — an unread
+	// registry costs a few atomic adds per dispatch — and is exposed via
+	// Metrics() for export.
+	obsReg *obs.Registry
+	// tl is the optional per-op span timeline, nil until EnableTimeline;
+	// dispatch paths go through Timeline.Begin, which is nil-safe.
+	tl atomic.Pointer[obs.Timeline]
+	// Registry-resolved dispatch metric handles (hot path: pure atomics).
+	mCompiles, mReplays, mReplans *obs.Counter
+	mReplanSeconds                *obs.Histogram
 }
 
 // engineIDs hands every engine a distinct nonzero identity.
@@ -241,13 +255,53 @@ func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engi
 		cache:  NewPlanCache(DefaultPlanCacheCapacity),
 		id:     engineIDs.Add(1),
 		cfgKey: cfg.Normalized(),
+		obsReg: obs.NewRegistry(),
 	}
+	e.resolveMetrics()
+	e.cache.Instrument(e.obsReg)
 	st, err := newEngineState(machine, devs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	e.st.Store(st)
 	return e, nil
+}
+
+// resolveMetrics binds the engine's dispatch metric handles to its registry.
+func (e *Engine) resolveMetrics() {
+	e.mCompiles = e.obsReg.Counter("blink_plan_compiles_total")
+	e.mReplays = e.obsReg.Counter("blink_plan_replays_total")
+	e.mReplans = e.obsReg.Counter("blink_replans_total")
+	e.mReplanSeconds = e.obsReg.Histogram("blink_replan_seconds", nil)
+}
+
+// Metrics returns the engine's metrics registry: plan-cache activity,
+// compile/replay counters, replan latency, async stream gauges and per-op
+// simulated-makespan histograms, exportable via Snapshot/WritePrometheus.
+func (e *Engine) Metrics() *obs.Registry { return e.obsReg }
+
+// EnableTimeline switches on per-op span recording and returns the
+// timeline. Idempotent: later calls return the same timeline. Dispatches
+// before the first call are simply not recorded.
+func (e *Engine) EnableTimeline() *obs.Timeline {
+	if t := e.tl.Load(); t != nil {
+		return t
+	}
+	e.tl.CompareAndSwap(nil, obs.NewTimeline())
+	return e.tl.Load()
+}
+
+// Timeline returns the engine's span timeline (nil unless EnableTimeline
+// was called).
+func (e *Engine) Timeline() *obs.Timeline { return e.tl.Load() }
+
+// timeline is the internal accessor dispatch paths use; a nil result is
+// fine (Timeline.Begin is nil-safe and returns a nil no-op recorder).
+func (e *Engine) timeline() *obs.Timeline { return e.tl.Load() }
+
+// opHist resolves the per-op simulated-makespan histogram.
+func (e *Engine) opHist(op Op) *obs.Histogram {
+	return e.obsReg.Histogram(`blink_op_sim_seconds{op="`+op.String()+`"}`, nil)
 }
 
 // Reconfigure re-probes and swaps the engine onto a new allocation — the
@@ -303,6 +357,7 @@ func (e *Engine) ReconfigureExclude(evicted []int) error {
 // reconfigureLocked builds and publishes the post-fault state; the caller
 // holds reconfigMu.
 func (e *Engine) reconfigureLocked(machine *topology.Topology, devs []int) error {
+	start := time.Now()
 	old := e.st.Load()
 	if machine == nil {
 		machine = old.machine
@@ -321,6 +376,8 @@ func (e *Engine) reconfigureLocked(machine *topology.Topology, devs []int) error
 	if st.fingerprint != old.fingerprint {
 		e.cache.InvalidateFingerprint(old.fingerprint)
 	}
+	e.mReplans.Inc()
+	e.mReplanSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -461,27 +518,58 @@ func (s Snapshot) Run(b Backend, op Op, root int, bytes int64, opts Options) (Re
 // call replayed a cached plan (true) or compiled one (false). The whole
 // dispatch runs against one state snapshot, so a concurrent Reconfigure
 // never mixes pre- and post-fault scheduling state within a call.
+// Synchronous dispatches record spans too (stream -1) when the timeline is
+// enabled.
 func (e *Engine) runCounted(st *engineState, b Backend, op Op, root int, bytes int64, opts Options) (Result, bool, error) {
-	return e.runCountedHooked(st, b, op, root, bytes, opts, nil)
+	rec := e.timeline().Begin(op.String(), b.String(), -1, bytes)
+	return e.runObserved(st, b, op, root, bytes, opts, nil, rec)
 }
 
-// runCountedHooked is runCounted with an optional chunk-granular progress
-// hook threaded into the frozen plan's replay (nil for synchronous calls;
-// async handles use it to publish progress and yield between chunks).
-func (e *Engine) runCountedHooked(st *engineState, b Backend, op Op, root int, bytes int64, opts Options, hook core.ReplayHook) (Result, bool, error) {
+// runObserved is the fully instrumented dispatch: an optional
+// chunk-granular progress hook threaded into the frozen plan's replay (nil
+// for synchronous calls; async handles use it to publish progress and yield
+// between chunks) plus an optional span recorder (nil when no timeline is
+// enabled — every recorder method is nil-safe). It owns the span's
+// lifecycle from dispatch to completion and the engine's compile/replay and
+// per-op makespan metrics.
+func (e *Engine) runObserved(st *engineState, b Backend, op Op, root int, bytes int64, opts Options, hook core.ReplayHook, rec *obs.SpanRecorder) (Result, bool, error) {
+	rec.Dispatch()
 	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
+		rec.Complete("", false, 0, err)
 		return Result{}, false, err
 	}
-	res, err := cp.Plan.ReplayDataHooked(opts.Buffers, hook)
+	if hit {
+		e.mReplays.Inc()
+	} else {
+		e.mCompiles.Inc()
+	}
+	res, err := cp.Plan.ReplayDataHooked(opts.Buffers, chainHooks(hook, rec.ChunkHook()))
 	if err != nil {
+		rec.Complete(cp.Strategy, hit, 0, err)
 		return Result{}, hit, err
 	}
+	e.opHist(op).Observe(res.Makespan)
+	rec.Complete(cp.Strategy, hit, res.Makespan, nil)
 	out := Result{Seconds: res.Makespan, Bytes: bytes, Strategy: cp.Strategy}
 	if res.Makespan > 0 {
 		out.ThroughputGBs = float64(bytes) / res.Makespan / 1e9
 	}
 	return out, hit, nil
+}
+
+// chainHooks composes two replay hooks into one (either may be nil).
+func chainHooks(a, b core.ReplayHook) core.ReplayHook {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(done, total int) {
+		a(done, total)
+		b(done, total)
+	}
 }
 
 // lookupOrCompile resolves the plan-cache key for the call and returns the

@@ -2,8 +2,12 @@ package collective
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"blink/internal/obs"
 )
 
 // Async stream defaults: two worker streams (the CUDA default of issuing
@@ -164,10 +168,12 @@ func (h *ClusterHandle) hook() func(done, total int) {
 	}
 }
 
-// streamTask is one queued async dispatch.
+// streamTask is one queued async dispatch. run receives the stream the task
+// landed on (resolved under the scheduler lock at admission), so observers
+// see the real lane even for round-robin submissions.
 type streamTask struct {
 	bytes int64
-	run   func()
+	run   func(stream int)
 }
 
 // streamQueue is one FIFO worker stream. Its worker goroutine is
@@ -175,6 +181,7 @@ type streamTask struct {
 // drains, so an idle communicator holds no goroutines at all (and tests
 // can assert goroutine counts settle after the last handle resolves).
 type streamQueue struct {
+	id      int
 	tasks   []streamTask
 	running bool
 }
@@ -185,26 +192,50 @@ type streamQueue struct {
 // and replays yield between chunks, so in-flight ops pipeline
 // chunk-by-chunk). Submissions apply backpressure: when the bytes in
 // flight across all streams exceed the window, submit blocks until
-// completions free space. One op larger than the whole window is still
+// completions free space, and admission is strictly ticket-ordered
+// (FIFO): a submission blocked on the window is never overtaken by later
+// submissions that happen to fit, so an oversized op cannot be starved by
+// a stream of small ones. One op larger than the whole window is still
 // admitted — alone — so oversized payloads make progress instead of
 // deadlocking.
 type streamScheduler struct {
 	mu       sync.Mutex
-	space    sync.Cond // signaled when inflight bytes drop
+	space    sync.Cond // signaled when inflight bytes drop or the ticket head advances
 	streams  []*streamQueue
 	inflight int64
 	window   int64 // <= 0: unbounded
 	next     int   // round-robin cursor for auto stream assignment
+	// admitHead/admitTail implement FIFO admission tickets: a submission
+	// takes a ticket at arrival and admits only when every earlier ticket
+	// has, regardless of payload size.
+	admitHead, admitTail uint64
+
+	// Registry-resolved metric handles (resolved once at construction; a
+	// nil registry yields standalone no-op metrics, so the hot path never
+	// branches on observability).
+	mSubmissions   *obs.Counter
+	mWaits         *obs.Counter
+	mWaitSeconds   *obs.Histogram
+	mInflightBytes *obs.Gauge
+	mQueueDepth    []*obs.Gauge // per stream
 }
 
-func newStreamScheduler(streams int, windowBytes int64) *streamScheduler {
+func newStreamScheduler(streams int, windowBytes int64, reg *obs.Registry) *streamScheduler {
 	if streams < 1 {
 		streams = 1
 	}
-	s := &streamScheduler{window: windowBytes}
+	s := &streamScheduler{
+		window:         windowBytes,
+		mSubmissions:   reg.Counter("blink_async_submissions_total"),
+		mWaits:         reg.Counter("blink_async_admission_waits_total"),
+		mWaitSeconds:   reg.Histogram("blink_async_admission_wait_seconds", nil),
+		mInflightBytes: reg.Gauge("blink_async_inflight_bytes"),
+	}
 	s.space.L = &s.mu
 	for i := 0; i < streams; i++ {
-		s.streams = append(s.streams, &streamQueue{})
+		s.streams = append(s.streams, &streamQueue{id: i})
+		s.mQueueDepth = append(s.mQueueDepth,
+			reg.Gauge(`blink_async_queue_depth{stream="`+strconv.Itoa(i)+`"}`))
 	}
 	return s
 }
@@ -212,22 +243,41 @@ func newStreamScheduler(streams int, windowBytes int64) *streamScheduler {
 // submit enqueues run on a stream and returns the stream it landed on.
 // stream < 0 round-robins across the scheduler's streams; out-of-range
 // indices wrap, so callers can use any dense numbering. submit blocks
-// while the in-flight byte window is full.
-func (s *streamScheduler) submit(stream int, bytes int64, run func()) int {
+// while the in-flight byte window is full or an earlier submission is
+// still waiting for admission (FIFO tickets).
+func (s *streamScheduler) submit(stream int, bytes int64, run func(stream int)) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mSubmissions.Inc()
+	ticket := s.admitTail
+	s.admitTail++
+	waited := false
+	var waitStart time.Time
+	for ticket != s.admitHead || (s.window > 0 && s.inflight > 0 && s.inflight+bytes > s.window) {
+		if !waited {
+			waited = true
+			waitStart = time.Now()
+			s.mWaits.Inc()
+		}
+		s.space.Wait()
+	}
+	s.admitHead++
+	// The next ticket holder may already fit; hand it the head.
+	s.space.Broadcast()
+	if waited {
+		s.mWaitSeconds.Observe(time.Since(waitStart).Seconds())
+	}
 	if stream < 0 {
 		stream = s.next
 		s.next = (s.next + 1) % len(s.streams)
 	} else {
 		stream %= len(s.streams)
 	}
-	for s.window > 0 && s.inflight > 0 && s.inflight+bytes > s.window {
-		s.space.Wait()
-	}
 	s.inflight += bytes
+	s.mInflightBytes.Set(s.inflight)
 	q := s.streams[stream]
 	q.tasks = append(q.tasks, streamTask{bytes: bytes, run: run})
+	s.mQueueDepth[stream].Set(int64(len(q.tasks)))
 	if !q.running {
 		q.running = true
 		go s.drain(q)
@@ -237,23 +287,33 @@ func (s *streamScheduler) submit(stream int, bytes int64, run func()) int {
 
 // drain is the stream's worker loop: pop-run-release until the queue is
 // empty, then exit. FIFO is preserved because at most one drain runs per
-// queue at a time.
+// queue at a time. Popped slots are zeroed so a completed task's closure
+// (and the buffers it captured) is collectable immediately instead of
+// lingering in the backing array until the next append overwrites it, and
+// a fully drained queue drops the backing array itself.
 func (s *streamScheduler) drain(q *streamQueue) {
 	for {
 		s.mu.Lock()
 		if len(q.tasks) == 0 {
+			q.tasks = nil // release the backing array
 			q.running = false
 			s.mu.Unlock()
 			return
 		}
 		t := q.tasks[0]
+		q.tasks[0] = streamTask{} // release the popped closure
 		q.tasks = q.tasks[1:]
+		if len(q.tasks) == 0 {
+			q.tasks = nil
+		}
+		s.mQueueDepth[q.id].Set(int64(len(q.tasks)))
 		s.mu.Unlock()
 
-		t.run()
+		t.run(q.id)
 
 		s.mu.Lock()
 		s.inflight -= t.bytes
+		s.mInflightBytes.Set(s.inflight)
 		s.space.Broadcast()
 		s.mu.Unlock()
 	}
@@ -284,8 +344,11 @@ func (a *asyncRuntime) configure(streams int, windowBytes int64) {
 	}
 }
 
-// scheduler returns the live scheduler, starting it on first use.
-func (a *asyncRuntime) scheduler() *streamScheduler {
+// scheduler returns the live scheduler, starting it on first use. reg is
+// the metrics registry the scheduler's gauges and counters land in (bound
+// at first use; a nil registry disables nothing — metrics become no-op
+// standalone atomics).
+func (a *asyncRuntime) scheduler(reg *obs.Registry) *streamScheduler {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.sched == nil {
@@ -296,7 +359,7 @@ func (a *asyncRuntime) scheduler() *streamScheduler {
 		if window == 0 {
 			window = DefaultAsyncWindowBytes
 		}
-		a.sched = newStreamScheduler(streams, window)
+		a.sched = newStreamScheduler(streams, window, reg)
 	}
 	return a.sched
 }
@@ -337,8 +400,10 @@ func (e *Engine) AsyncStreams() int {
 func (e *Engine) RunAsync(b Backend, op Op, root int, bytes int64, opts Options, stream int) *Handle {
 	st := e.st.Load() // pin the topology snapshot at submission time
 	h := newHandle()
-	e.async.scheduler().submit(stream, bytes, func() {
-		res, hit, err := e.runCountedHooked(st, b, op, root, bytes, opts, h.hook())
+	rec := e.timeline().Begin(op.String(), b.String(), stream, bytes)
+	e.async.scheduler(e.Metrics()).submit(stream, bytes, func(actual int) {
+		rec.SetStream(actual)
+		res, hit, err := e.runObserved(st, b, op, root, bytes, opts, h.hook(), rec)
 		h.complete(res, hit, err)
 	})
 	return h
@@ -358,8 +423,10 @@ func (e *ClusterEngine) ConfigureAsync(streams int, windowBytes int64) {
 func (e *ClusterEngine) RunAsync(b Backend, op Op, root int, bytes int64, opts Options, stream int) *ClusterHandle {
 	st := e.st.Load()
 	h := newClusterHandle()
-	e.async.scheduler().submit(stream, bytes, func() {
-		res, hit, err := e.runCountedHooked(st, b, op, root, bytes, opts, nil, h.hook())
+	rec := e.timeline().Begin(op.String(), b.String(), stream, bytes)
+	e.async.scheduler(e.Metrics()).submit(stream, bytes, func(actual int) {
+		rec.SetStream(actual)
+		res, hit, err := e.runObserved(st, b, op, root, bytes, opts, nil, h.hook(), rec)
 		h.complete(res, hit, err)
 	})
 	return h

@@ -74,7 +74,7 @@ func TestAsyncErrorThroughHandle(t *testing.T) {
 // directly: tasks pinned to one stream must run strictly in submission
 // order, while a second stream's tasks interleave freely.
 func TestStreamSchedulerFIFOWithinStream(t *testing.T) {
-	s := newStreamScheduler(2, 0)
+	s := newStreamScheduler(2, 0, nil)
 	const n = 32
 	var mu sync.Mutex
 	var order []int
@@ -82,7 +82,7 @@ func TestStreamSchedulerFIFOWithinStream(t *testing.T) {
 	wg.Add(2 * n)
 	for i := 0; i < n; i++ {
 		i := i
-		s.submit(0, 1, func() {
+		s.submit(0, 1, func(int) {
 			mu.Lock()
 			order = append(order, i)
 			mu.Unlock()
@@ -90,7 +90,7 @@ func TestStreamSchedulerFIFOWithinStream(t *testing.T) {
 		})
 		// Concurrent traffic on the other stream must not perturb
 		// stream 0's ordering.
-		s.submit(1, 1, func() { wg.Done() })
+		s.submit(1, 1, func(int) { wg.Done() })
 	}
 	wg.Wait()
 	mu.Lock()
@@ -235,6 +235,116 @@ func TestAsyncOversizedOpAdmitted(t *testing.T) {
 	}
 	if _, err := h.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStreamSchedulerFIFOAdmission is the starvation regression for
+// ticket-ordered admission: an oversized op blocked on the in-flight
+// window must admit before every submission that arrived after it, even
+// when those later ops would individually fit. Before the ticket fix, the
+// small ops kept slipping past the big one and it could wait forever.
+func TestStreamSchedulerFIFOAdmission(t *testing.T) {
+	s := newStreamScheduler(1, 10, nil)
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) {
+		mu.Lock()
+		order = append(order, tag)
+		mu.Unlock()
+	}
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Occupy the window so later submissions must wait for admission.
+	wg.Add(1)
+	s.submit(0, 6, func(int) {
+		<-release
+		record("warm")
+		wg.Done()
+	})
+
+	// The oversized op (bigger than the whole window) takes the next
+	// ticket and blocks: inflight > 0 and it can't fit.
+	wg.Add(1)
+	go s.submit(0, 100, func(int) {
+		record("big")
+		wg.Done()
+	})
+	waitTickets := func(n uint64) {
+		for {
+			s.mu.Lock()
+			tail := s.admitTail
+			s.mu.Unlock()
+			if tail >= n {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitTickets(2)
+
+	// A stream of small ops that WOULD fit in the window right now — under
+	// FIFO tickets they must all queue behind the big op.
+	const smalls = 10
+	for i := 0; i < smalls; i++ {
+		wg.Add(1)
+		go s.submit(0, 1, func(int) {
+			record("small")
+			wg.Done()
+		})
+	}
+	waitTickets(2 + smalls)
+
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2+smalls {
+		t.Fatalf("ran %d tasks, want %d", len(order), 2+smalls)
+	}
+	if order[0] != "warm" || order[1] != "big" {
+		t.Fatalf("oversized op starved: execution order %v", order)
+	}
+	// Its admission wait is attributed on the metrics.
+	if s.mWaits.Value() == 0 {
+		t.Fatal("admission waits counter did not move")
+	}
+}
+
+// TestStreamSchedulerDrainReleasesBacking is the memory regression for
+// drain: popped task slots must be zeroed (so completed closures and the
+// buffers they capture are collectable immediately) and a fully drained
+// queue must drop its backing array instead of retaining it forever.
+func TestStreamSchedulerDrainReleasesBacking(t *testing.T) {
+	s := newStreamScheduler(1, 0, nil)
+	var wg sync.WaitGroup
+	const n = 16
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.submit(0, 1, func(int) { wg.Done() })
+	}
+	wg.Wait()
+	// The worker exits once the queue drains; poll for it, then check the
+	// backing array was released.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		running, tasks := s.streams[0].running, s.streams[0].tasks
+		s.mu.Unlock()
+		if !running {
+			if tasks != nil {
+				t.Fatalf("drained queue retains backing array of %d slots", cap(tasks))
+			}
+			if got := s.mQueueDepth[0].Value(); got != 0 {
+				t.Fatalf("queue depth gauge = %d after drain", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never exited")
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 

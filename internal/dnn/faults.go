@@ -7,6 +7,7 @@ import (
 
 	"blink/internal/cluster"
 	"blink/internal/collective"
+	"blink/internal/obs"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
 )
@@ -240,6 +241,13 @@ func SimulateTrainingRunWithFaults(machine *topology.Topology, devs []int, backe
 	if err != nil {
 		return FaultTrainingRun{}, err
 	}
+	return simulateFaultsOnEngine(eng, machine, devs, backend, m, bucketBytes, iters, sched, clock)
+}
+
+// simulateFaultsOnEngine runs the fault-injected trajectory on a caller-
+// provided engine, so observed runs can enable the engine's timeline and
+// read its metrics registry afterwards.
+func simulateFaultsOnEngine(eng *collective.Engine, machine *topology.Topology, devs []int, backend collective.Backend, m *Model, bucketBytes int64, iters int, sched cluster.FaultSchedule, clock func() float64) (FaultTrainingRun, error) {
 	fs := newFaultState(machine, devs)
 	tr := FaultTrainingRun{Model: m.Name, Backend: backend.String()}
 	return runFaultTrajectory(tr, iters, sched, clock,
@@ -266,6 +274,67 @@ func SimulateTrainingRunWithFaults(machine *topology.Topology, devs []int, backe
 			g, err := TrainStep(eng, backend, m, bucketBytes)
 			return g, eng.Topo().NumGPUs, err
 		})
+}
+
+// ObservedFaultRun is a fault-injected training run with its observability
+// artifacts: the per-op span timeline, the engine's metrics registry, and
+// the deterministic replay evidence.
+type ObservedFaultRun struct {
+	Run FaultTrainingRun
+	// Spans is the run's full op timeline in completion order.
+	Spans []obs.Span
+	// Registry is the engine's metrics registry (cache attribution,
+	// compile/replay counts, replan latency, per-op makespans).
+	Registry *obs.Registry
+	// Evidence is the deterministic replay-evidence artifact: two runs with
+	// identical inputs serialize it byte-identically.
+	Evidence obs.Evidence
+}
+
+// SimulateTrainingRunWithFaultsObserved is SimulateTrainingRunWithFaults
+// with the observability layer enabled: the engine records a span per
+// collective dispatch, and the result carries replay evidence binding the
+// seed (whatever produced the fault schedule — pass the one given to
+// cluster.RandomFaultSchedules, or 0 for a scripted schedule), the pristine
+// topology fingerprint, the fault schedule and the timeline hash. The
+// trajectory is dispatched sequentially, so the hash is deterministic:
+// identical inputs yield identical evidence.
+func SimulateTrainingRunWithFaultsObserved(machine *topology.Topology, devs []int, backend collective.Backend, m *Model, bucketBytes int64, iters int, sched cluster.FaultSchedule, cfg simgpu.Config, clock func() float64, seed int64) (ObservedFaultRun, error) {
+	eng, err := collective.NewEngine(machine, devs, cfg)
+	if err != nil {
+		return ObservedFaultRun{}, err
+	}
+	tl := eng.EnableTimeline()
+	pristine := eng.Fingerprint()
+	run, err := simulateFaultsOnEngine(eng, machine, devs, backend, m, bucketBytes, iters, sched, clock)
+	if err != nil {
+		return ObservedFaultRun{}, err
+	}
+	faults := make([]string, 0, len(sched.Faults))
+	for _, f := range sched.Faults {
+		faults = append(faults, f.String())
+	}
+	steps := make([]float64, 0, len(run.Trajectory))
+	for _, it := range run.Trajectory {
+		steps = append(steps, it.StepSeconds)
+	}
+	return ObservedFaultRun{
+		Run:      run,
+		Spans:    tl.Spans(),
+		Registry: eng.Metrics(),
+		Evidence: obs.Evidence{
+			Tool:           "dnn.SimulateTrainingRunWithFaultsObserved",
+			Seed:           seed,
+			Topology:       pristine,
+			Backend:        backend.String(),
+			Model:          m.Name,
+			FaultSchedule:  faults,
+			Iterations:     iters,
+			Spans:          tl.Len(),
+			StepSimSeconds: steps,
+			TimelineHash:   tl.Hash(),
+		},
+	}, nil
 }
 
 // SimulateClusterTrainingRunWithFaults is the multi-server counterpart:

@@ -1,6 +1,7 @@
 package dnn
 
 import (
+	"strings"
 	"testing"
 
 	"blink/internal/cluster"
@@ -146,5 +147,89 @@ func TestSimulateClusterTrainingRunWithFaults(t *testing.T) {
 	if _, err := SimulateClusterTrainingRunWithFaults(c, collective.Blink,
 		ResNet50(), 25<<20, iters, cluster.LinkLoss(0, 3, 2), simgpu.Config{}, fakeClock()); err == nil {
 		t.Fatal("link faults on a cluster run must be rejected")
+	}
+}
+
+// TestObservedFaultRunDeterministic is the replay-evidence gate in test
+// form: two runs over identical inputs (same seed, allocation and fault
+// schedule) must produce the same timeline hash and byte-identical
+// evidence, even though their wall clocks differ.
+func TestObservedFaultRunDeterministic(t *testing.T) {
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	const iters, seed = 6, int64(7)
+	scheds, err := cluster.RandomFaultSchedules(machine, devs, iters, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(clock func() float64) ObservedFaultRun {
+		t.Helper()
+		r, err := SimulateTrainingRunWithFaultsObserved(machine, devs, collective.Blink,
+			ResNet50(), 25<<20, iters, scheds[0], simgpu.Config{}, clock, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	slow := func() func() float64 {
+		// A clock advancing 10x faster than fakeClock: wall-dependent
+		// fields diverge wildly between the runs, hashed fields must not.
+		t := 0.0
+		return func() float64 { t += 0.01; return t }
+	}
+	r1, r2 := runOnce(fakeClock()), runOnce(slow())
+
+	if r1.Evidence.TimelineHash != r2.Evidence.TimelineHash {
+		t.Fatalf("timeline hashes diverged:\n%s\n%s",
+			r1.Evidence.TimelineHash, r2.Evidence.TimelineHash)
+	}
+	var b1, b2 strings.Builder
+	if err := r1.Evidence.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Evidence.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("evidence not byte-identical:\n%s\n%s", b1.String(), b2.String())
+	}
+	if r1.Evidence.Fingerprint() != r2.Evidence.Fingerprint() {
+		t.Fatal("evidence fingerprints diverged")
+	}
+
+	// The evidence binds the run's identity.
+	ev := r1.Evidence
+	if ev.Seed != seed || ev.Iterations != iters || ev.Backend != "Blink" ||
+		ev.Model != "ResNet50" || ev.Topology == "" {
+		t.Fatalf("evidence identity wrong: %+v", ev)
+	}
+	if len(ev.FaultSchedule) == 0 {
+		t.Fatal("fault schedule not recorded")
+	}
+	if len(ev.StepSimSeconds) != iters {
+		t.Fatalf("step sim seconds has %d entries, want %d", len(ev.StepSimSeconds), iters)
+	}
+	if ev.Spans == 0 || len(r1.Spans) != ev.Spans {
+		t.Fatalf("span accounting wrong: evidence %d, timeline %d", ev.Spans, len(r1.Spans))
+	}
+	// Metrics rode along: the registry saw every dispatch.
+	snap := r1.Registry.Snapshot()
+	if snap.Counters["blink_plan_cache_lookups_total"] != uint64(ev.Spans) {
+		t.Fatalf("lookups %d != spans %d",
+			snap.Counters["blink_plan_cache_lookups_total"], ev.Spans)
+	}
+
+	// A different seed must change the evidence.
+	scheds2, err := cluster.RandomFaultSchedules(machine, devs, iters, 1, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := SimulateTrainingRunWithFaultsObserved(machine, devs, collective.Blink,
+		ResNet50(), 25<<20, iters, scheds2[0], simgpu.Config{}, fakeClock(), seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Evidence.Fingerprint() == r1.Evidence.Fingerprint() {
+		t.Fatal("different seeds produced identical evidence")
 	}
 }

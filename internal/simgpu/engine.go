@@ -78,6 +78,12 @@ func (o *Op) Start() float64 { return o.start }
 // Finish returns the op's simulated finish time (valid after Run).
 func (o *Op) Finish() float64 { return o.finish }
 
+// Scheduled reports whether the op has been executed by a completed Run:
+// false on a freshly built plan, true for every op after the run finishes
+// (Run clears the flag on entry, so a re-run starts from false again).
+// Tracing uses it to tell whether a plan already carries timings.
+func (o *Op) Scheduled() bool { return o.scheduled }
+
 // Result summarizes one engine run.
 type Result struct {
 	// Makespan is the time the last op finishes.

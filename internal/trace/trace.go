@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"blink/internal/core"
+	"blink/internal/obs"
 	"blink/internal/simgpu"
 )
 
@@ -35,11 +36,34 @@ type File struct {
 // FromPlan executes the plan (if not yet executed) and converts every op
 // into a complete event: one "process" per link (so each link renders as a
 // swimlane) with the op's stream as the thread ID.
+//
+// FromPlan is idempotent: a plan whose ops already carry timings from a
+// previous execution is traced as-is, never re-run — re-executing would
+// redo the whole simulated schedule (and, in data mode, replay every Exec
+// closure's data movement) just to read back timings it already has.
 func FromPlan(plan *core.Plan) (*File, error) {
-	if _, err := plan.Execute(); err != nil {
-		return nil, err
+	if !planExecuted(plan) {
+		if _, err := plan.Execute(); err != nil {
+			return nil, err
+		}
 	}
 	return FromOps(plan.Fabric, plan.Ops), nil
+}
+
+// planExecuted reports whether the plan's ops carry timings. A completed
+// run marks every op scheduled; a fresh plan has none marked (the simulator
+// clears the flags on entry, so a partially failed run also reads as
+// unexecuted and is re-run).
+func planExecuted(plan *core.Plan) bool {
+	if len(plan.Ops) == 0 {
+		return false
+	}
+	for _, op := range plan.Ops {
+		if !op.Scheduled() {
+			return false
+		}
+	}
+	return true
 }
 
 // FromOps converts already-executed ops into a trace file.
@@ -73,6 +97,62 @@ func FromOps(f *simgpu.Fabric, ops []*simgpu.Op) *File {
 			Dur:  (op.Finish() - op.Start()) * 1e6,
 			PID:  lane + 1, // pid 0 is reserved for sync ops
 			TID:  op.Stream,
+		})
+	}
+	sort.Slice(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].TS != out.TraceEvents[j].TS {
+			return out.TraceEvents[i].TS < out.TraceEvents[j].TS
+		}
+		return out.TraceEvents[i].PID < out.TraceEvents[j].PID
+	})
+	return out
+}
+
+// FromSpans converts an op timeline (obs spans) into a trace file where
+// every async stream renders as a swimlane: one "process" per stream (sync
+// dispatches, stream -1, land on pid 0) with the span's Seq as the thread
+// ID so overlapping ops on one stream stack instead of merging. Each span
+// yields up to two complete events: a "queued" event covering submission →
+// dispatch (when the op actually waited) and the op event covering
+// dispatch → completion, named after the collective and labeled with its
+// strategy category.
+func FromSpans(spans []obs.Span) *File {
+	out := &File{DisplayTimeUnit: "ns", Metadata: map[string]string{
+		"generator": "blink/internal/trace",
+	}}
+	for _, s := range spans {
+		name := s.Name
+		if name == "" {
+			name = "op"
+		}
+		cat := s.Strategy
+		if cat == "" {
+			cat = "op"
+		}
+		pid := s.Stream + 1
+		if wait := s.DispatchedAt - s.QueuedAt; wait > 0 {
+			out.TraceEvents = append(out.TraceEvents, Event{
+				Name: name + " (queued)",
+				Cat:  "queue",
+				Ph:   "X",
+				TS:   s.QueuedAt * 1e6,
+				Dur:  wait * 1e6,
+				PID:  pid,
+				TID:  s.Seq,
+			})
+		}
+		dur := s.CompletedAt - s.DispatchedAt
+		if dur < 0 {
+			dur = 0
+		}
+		out.TraceEvents = append(out.TraceEvents, Event{
+			Name: name,
+			Cat:  cat,
+			Ph:   "X",
+			TS:   s.DispatchedAt * 1e6,
+			Dur:  dur * 1e6,
+			PID:  pid,
+			TID:  s.Seq,
 		})
 	}
 	sort.Slice(out.TraceEvents, func(i, j int) bool {
