@@ -7,8 +7,9 @@ COVER_FLOOR_COLLECTIVE ?= 80
 COVER_FLOOR_CORE ?= 78
 COVER_FLOOR_DNN ?= 70
 COVER_FLOOR_OBS ?= 85
+COVER_FLOOR_GRAPH ?= 75
 
-.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke ci
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke compile-bench compile-smoke ci
 
 all: build test
 
@@ -29,7 +30,7 @@ race:
 # Statement-coverage gate for the scheduling/runtime core packages.
 cover:
 	@set -e; \
-	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)" "./internal/dnn $(COVER_FLOOR_DNN)" "./internal/obs $(COVER_FLOOR_OBS)"; do \
+	for spec in "./internal/collective $(COVER_FLOOR_COLLECTIVE)" "./internal/core $(COVER_FLOOR_CORE)" "./internal/dnn $(COVER_FLOOR_DNN)" "./internal/obs $(COVER_FLOOR_OBS)" "./internal/graph $(COVER_FLOOR_GRAPH)"; do \
 		set -- $$spec; pkg=$$1; floor=$$2; \
 		out=$$($(GO) test -cover $$pkg) || { echo "$$out"; echo "tests of $$pkg failed"; exit 1; }; \
 		line=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%'); \
@@ -101,6 +102,17 @@ mixed:
 mixed-smoke:
 	$(GO) run ./cmd/blinkbench -mixed -o /dev/null
 
+compile-bench:
+	$(GO) run ./cmd/blinkbench -compile -o BENCH_compile.json
+
+# CI smoke for the staged compile pipeline: exits non-zero unless the
+# approximate-first fast path publishes a usable cold plan at least 2x
+# sooner than the exact compile AND incremental fault repair replans at
+# least 10x faster than the full per-root recompile baseline (see
+# BENCH_compile.json for the tracked run).
+compile-smoke:
+	$(GO) run ./cmd/blinkbench -compilesmoke
+
 obs:
 	$(GO) run ./cmd/blinkbench -obs -o BENCH_obs.txt
 
@@ -111,4 +123,4 @@ obs:
 obs-smoke:
 	$(GO) run ./cmd/blinkbench -obs -o /dev/null
 
-ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke compile-smoke

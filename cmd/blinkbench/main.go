@@ -13,6 +13,8 @@
 //	blinkbench -async -o BENCH_async.json            # async-stream overlap + dispatch throughput
 //	blinkbench -mixed -o BENCH_mixed.json            # AllToAll / SendRecv / NeighborExchange vs flat ring
 //	blinkbench -obs -o BENCH_obs.txt                 # replay-determinism gate + metrics + span dump
+//	blinkbench -compile -o BENCH_compile.json        # staged compile: fast path + incremental repair
+//	blinkbench -compilesmoke                         # CI gate: fast path >=2x, incremental repair >=10x
 package main
 
 import (
@@ -33,7 +35,9 @@ func main() {
 	async := flag.Bool("async", false, "benchmark async-stream overlap and dispatch throughput and emit JSON")
 	mixed := flag.Bool("mixed", false, "benchmark AllToAll/SendRecv/NeighborExchange vs the flat-ring baseline and emit JSON")
 	obsFlag := flag.Bool("obs", false, "run the seeded replay-determinism gate and emit metrics + span dump")
-	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed/-obs ('-' = stdout)")
+	compileFlag := flag.Bool("compile", false, "benchmark the staged compile pipeline (fast path, incremental repair) and emit JSON")
+	compileSmoke := flag.Bool("compilesmoke", false, "gate the fast-path (>=2x) and incremental-repair (>=10x) speedups, exit non-zero on failure")
+	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed/-obs/-compile ('-' = stdout)")
 	flag.Parse()
 
 	if *plancache {
@@ -62,6 +66,17 @@ func main() {
 	}
 	if *obsFlag {
 		obsMain(*out)
+		return
+	}
+	if *compileFlag {
+		compileMain(*out)
+		return
+	}
+	if *compileSmoke {
+		if err := compileCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "compile-smoke: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

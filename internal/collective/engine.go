@@ -139,16 +139,19 @@ type engineState struct {
 	machine *topology.Topology
 	devs    []int
 
-	// mu guards the lazily built scheduling state below (packings, rings).
-	// It is held across TreeGen so concurrent cold calls for one root do
-	// the expensive packing work exactly once.
+	// mu guards the lazily built scheduling state below (packing slot maps,
+	// rings). Concurrent cold calls for one root still do the expensive
+	// packing work exactly once — that dedup moved to the per-root slot
+	// locks in compile.go so it no longer serializes unrelated roots.
 	mu sync.Mutex
 
-	// Point-to-point state (DGX-1 class).
+	// Point-to-point state (DGX-1 class). Packings live in per-root slots
+	// with entry-level locks (compile.go), so st.mu is held only for map
+	// access and cold compiles for distinct roots run in parallel.
 	nvlFabric  *simgpu.Fabric
 	pcieFabric *simgpu.Fabric
-	packings   map[int]*core.Packing // per root, NVLink
-	pciePacks  map[int]*core.Packing // per root, PCIe hub
+	packings   map[int]*packEntry // per root, NVLink
+	pciePacks  map[int]*packEntry // per root, PCIe hub
 	rings      []ring.Ring
 	ringsDone  bool
 
@@ -210,6 +213,19 @@ type Engine struct {
 	// Registry-resolved dispatch metric handles (hot path: pure atomics).
 	mCompiles, mReplays, mReplans *obs.Counter
 	mReplanSeconds                *obs.Histogram
+
+	// Staged-compile state (compile.go): the exact and approximate planner
+	// pipelines, the fast-path / incremental-repair knobs, and the bounded
+	// background-refinement pool.
+	exactPipe  *core.PlannerPipeline
+	approxPipe *core.PlannerPipeline
+	fastPath   atomic.Bool
+	repairOff  atomic.Bool
+	refineWG   sync.WaitGroup
+	refineSem  chan struct{}
+	// Fast-path, refinement-swap and repair-outcome counters.
+	mFastCompiles, mRefineSwaps *obs.Counter
+	mRepairs, mRepairFallbacks  *obs.Counter
 }
 
 // engineIDs hands every engine a distinct nonzero identity.
@@ -239,8 +255,8 @@ func newEngineState(machine *topology.Topology, devs []int, cfg simgpu.Config) (
 	st.topo = ind
 	st.nvlFabric = simgpu.NewFabric(ind, ind.GPUGraph(), cfg)
 	st.pcieFabric = simgpu.NewFabric(ind, ind.PCIeGraph(), cfg)
-	st.packings = map[int]*core.Packing{}
-	st.pciePacks = map[int]*core.Packing{}
+	st.packings = map[int]*packEntry{}
+	st.pciePacks = map[int]*packEntry{}
 	st.fingerprint = ind.Fingerprint()
 	st.nvlConnected = ind.GPUGraph().Connected()
 	return st, nil
@@ -256,8 +272,14 @@ func NewEngine(machine *topology.Topology, devs []int, cfg simgpu.Config) (*Engi
 		id:     engineIDs.Add(1),
 		cfgKey: cfg.Normalized(),
 		obsReg: obs.NewRegistry(),
+		// Background refinements are strictly lower priority than dispatch
+		// work; two concurrent exact compiles keep the pipeline fed without
+		// starving foreground packing of cores.
+		refineSem: make(chan struct{}, 2),
 	}
 	e.resolveMetrics()
+	e.exactPipe = core.NewPlannerPipeline(core.PipelineOptions{OnStage: e.observeStage})
+	e.approxPipe = core.NewPlannerPipeline(core.PipelineOptions{Approx: true, OnStage: e.observeStage})
 	e.cache.Instrument(e.obsReg)
 	st, err := newEngineState(machine, devs, cfg)
 	if err != nil {
@@ -273,6 +295,10 @@ func (e *Engine) resolveMetrics() {
 	e.mReplays = e.obsReg.Counter("blink_plan_replays_total")
 	e.mReplans = e.obsReg.Counter("blink_replans_total")
 	e.mReplanSeconds = e.obsReg.Histogram("blink_replan_seconds", nil)
+	e.mFastCompiles = e.obsReg.Counter("blink_fastpath_compiles_total")
+	e.mRefineSwaps = e.obsReg.Counter("blink_refine_swaps_total")
+	e.mRepairs = e.obsReg.Counter("blink_repair_incremental_total")
+	e.mRepairFallbacks = e.obsReg.Counter("blink_repair_fallback_total")
 }
 
 // Metrics returns the engine's metrics registry: plan-cache activity,
@@ -372,6 +398,12 @@ func (e *Engine) reconfigureLocked(machine *topology.Topology, devs []int) error
 	if err != nil {
 		return err
 	}
+	if !e.repairOff.Load() {
+		// Seed the new state with incrementally repaired packings before it
+		// becomes visible: roots the fault barely touched replan in
+		// microseconds instead of recompiling from scratch (compile.go).
+		e.repairPackings(old, st)
+	}
 	e.st.Store(st)
 	if st.fingerprint != old.fingerprint {
 		e.cache.InvalidateFingerprint(old.fingerprint)
@@ -419,36 +451,6 @@ func (e *Engine) Switched() bool { return e.st.Load().switchFabric != nil }
 // connected (Blink needs this to build NVLink trees; NCCL needs a full
 // ring, which is stricter).
 func (e *Engine) NVLinkConnected() bool { return e.st.Load().nvlConnected }
-
-// packing returns (caching) the minimized NVLink tree packing for a root.
-func (st *engineState) packing(root int) (*core.Packing, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if p, ok := st.packings[root]; ok {
-		return p, nil
-	}
-	p, err := core.GenerateTrees(st.topo.GPUGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
-	if err != nil {
-		return nil, err
-	}
-	st.packings[root] = p
-	return p, nil
-}
-
-// pciePacking returns (caching) the PCIe hub packing for a root.
-func (st *engineState) pciePacking(root int) (*core.Packing, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if p, ok := st.pciePacks[root]; ok {
-		return p, nil
-	}
-	p, err := core.GenerateTrees(st.topo.PCIeGraph(), root, core.PackOptions{}, core.MinimizeOptions{})
-	if err != nil {
-		return nil, err
-	}
-	st.pciePacks[root] = p
-	return p, nil
-}
 
 // ncclRings returns (caching) the NVLink rings NCCL would build.
 func (st *engineState) ncclRings() []ring.Ring {
@@ -617,21 +619,34 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 
 	var plan *core.Plan
 	var err error
+	var approxRoots []int
 	strategy := ""
 
+	t0 := time.Now()
 	switch {
 	case st.switchFabric != nil:
 		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, ro, opts)
 	case b == Blink:
-		plan, strategy, err = blinkPlan(st, op, root, bytes, po, opts)
+		plan, strategy, approxRoots, err = blinkPlan(e, st, op, root, bytes, po, opts)
 	default:
 		plan, strategy, err = ncclPlan(st, op, root, bytes, po, ro, opts)
 	}
 	if err != nil {
 		return nil, false, err
 	}
+	e.observeStage(core.StageCodegen, time.Since(t0).Seconds())
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
 	e.cache.Put(key, cp)
+	if len(approxRoots) > 0 {
+		// The plan embeds fast-path packings: register it for the refinement
+		// swap (or republish from the refined packings if refinement already
+		// finished — see compile.go).
+		if rc := e.finishFastPlan(st, approxRoots, pendingSwap{
+			key: key, op: op, root: root, bytes: bytes, po: po, opts: opts,
+		}); rc != nil {
+			cp = rc
+		}
+	}
 	// A Reconfigure may have swapped the engine and invalidated this
 	// fingerprint while we were compiling; re-check so the Put above cannot
 	// resurrect a dead topology's plan that would pin an LRU slot forever.
@@ -785,35 +800,47 @@ func shapeKey(op Op, opts Options) string {
 	return sb.String()
 }
 
-// blinkPlan compiles a Blink schedule on a point-to-point machine.
-func blinkPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
+// blinkPlan compiles a Blink schedule on a point-to-point machine. It also
+// reports which roots' packings were fast-path approximations at compile
+// time (nil when none), so the caller can register the plan for the
+// background refinement swap.
+func blinkPlan(e *Engine, st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, []int, error) {
 	// NVLink alone may not span the allocation: Blink then packs PCIe trees
 	// (and routes point-to-point traffic through the hub).
-	f, packAt, strategy := st.nvlFabric, st.packing, "trees"
+	f, pcie, strategy := st.nvlFabric, false, "trees"
 	if !st.nvlConnected {
-		f, packAt, strategy = st.pcieFabric, st.pciePacking, "pcie-trees"
+		f, pcie, strategy = st.pcieFabric, true, "pcie-trees"
+	}
+	var approxRoots []int
+	packAt := func(r int) (*core.Packing, error) {
+		p, approx, err := e.packingOn(st, pcie, r)
+		if err == nil && approx {
+			approxRoots = append(approxRoots, r)
+		}
+		return p, err
 	}
 	switch op {
 	case AllToAll:
 		plan, err := core.BuildAllToAllPlan(f, packAt, bytes, po)
-		return plan, strategy + "+alltoall", err
+		return plan, strategy + "+alltoall", approxRoots, err
 	case SendRecv:
 		plan, err := core.BuildSendRecvChainPlan(f, opts.Chain, bytes, po)
-		return plan, strategy + "+sendrecv", err
+		return plan, strategy + "+sendrecv", nil, err
 	case NeighborExchange:
 		plan, err := core.BuildNeighborExchangePlan(f, opts.Neighbors, bytes, po)
-		return plan, strategy + "+neighbor", err
+		return plan, strategy + "+neighbor", nil, err
 	}
 	p, err := packAt(root)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	if opts.Hybrid && op == Broadcast && st.nvlConnected {
 		// Hybrid is handled by RunHybridBroadcast; plain Run ignores it for
 		// non-broadcast ops.
-		return nil, "", fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
+		return nil, "", nil, fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
 	}
-	return planFor(op, f, p, bytes, po, strategy)
+	plan, strategy, err := planFor(op, f, p, bytes, po, strategy)
+	return plan, strategy, approxRoots, err
 }
 
 // ncclPlan compiles the baseline schedule on a point-to-point machine.
@@ -959,10 +986,8 @@ func (e *Engine) Packing(root int) (*core.Packing, error) {
 	if st.switchFabric != nil {
 		return st.oneHop[root], nil
 	}
-	if !st.nvlConnected {
-		return st.pciePacking(root)
-	}
-	return st.packing(root)
+	p, _, err := e.packingOn(st, !st.nvlConnected, root)
+	return p, err
 }
 
 // RunHybridBroadcast executes Blink's hybrid PCIe+NVLink broadcast (§3.4).
@@ -977,11 +1002,13 @@ func (e *Engine) RunHybridBroadcast(root int, bytes int64, opts Options) (Result
 	if root < 0 || root >= st.topo.NumGPUs {
 		return Result{}, nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, st.topo.NumGPUs)
 	}
-	pn, err := st.packing(root)
+	// Hybrid plans are built per call (no plan cache), so the refinement
+	// swap does not apply; the fast-path flag is irrelevant here.
+	pn, _, err := e.packingOn(st, false, root)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	pp, err := st.pciePacking(root)
+	pp, _, err := e.packingOn(st, true, root)
 	if err != nil {
 		return Result{}, nil, err
 	}

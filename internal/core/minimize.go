@@ -18,12 +18,19 @@ type MinimizeOptions struct {
 	// the solver (highest-MWU-weight first). Default 64.
 	MaxCandidates int
 	// MaxGrid bounds the relaxation: weights are multiples of 1/q with q
-	// doubling from 1 up to MaxGrid. Default 8 (i.e. eighths).
+	// doubling from 1 up to MaxGrid. Default 8 (i.e. eighths). Values that
+	// are not powers of two are normalized up to the next power of two —
+	// the doubling walk visits only powers of two, so e.g. MaxGrid=6 would
+	// otherwise silently stop at quarters instead of reaching sixths-or-
+	// finer granularity the caller asked for.
 	MaxGrid int
 }
 
 func (o *MinimizeOptions) setDefaults() {
-	if o.Threshold <= 0 {
+	if o.Threshold <= 0 || o.Threshold >= 1 {
+		// Threshold is a fractional rate loss: 0 and negatives are
+		// meaningless, and >= 1 would accept an empty packing. Both fall
+		// back to the paper's 5%.
 		o.Threshold = 0.05
 	}
 	if o.MaxCandidates <= 0 {
@@ -32,6 +39,16 @@ func (o *MinimizeOptions) setDefaults() {
 	if o.MaxGrid <= 0 {
 		o.MaxGrid = 8
 	}
+	o.MaxGrid = nextPow2(o.MaxGrid)
+}
+
+// nextPow2 rounds q up to the nearest power of two (q itself if already one).
+func nextPow2(q int) int {
+	p := 1
+	for p < q {
+		p <<= 1
+	}
+	return p
 }
 
 // MinimizeTrees reduces a (possibly large) MWU packing to a small set of
@@ -195,26 +212,14 @@ func solveGrid(g *graph.Graph, root int, cands []Tree, q int, rateBound float64)
 }
 
 // GenerateTrees is the full TreeGen stage: MWU packing followed by tree
-// minimization. When the minimized rate still falls short of the integral
-// Edmonds optimum on an integer-capacity graph (the ILP's candidate set is
-// limited to what MWU produced), the exact peeling packer fills the gap.
-// It is the entry point used by plan construction.
+// minimization, with the exact peeling packer filling the gap when the
+// minimized rate falls short of the integral Edmonds optimum on an
+// integer-capacity graph. It is the single-root convenience wrapper around
+// the staged PlannerPipeline (see pipeline.go), which is the entry point
+// plan construction and the collective layer use.
 func GenerateTrees(g *graph.Graph, root int, pOpts PackOptions, mOpts MinimizeOptions) (*Packing, error) {
-	p, err := PackTrees(g, root, pOpts)
-	if err != nil {
-		return nil, err
-	}
-	if len(p.Trees) == 0 {
-		return p, nil
-	}
-	min := MinimizeTrees(g, p, mOpts)
-	intBound := math.Floor(p.Bound + 1e-9)
-	if min.Rate < intBound-1e-9 && integerCaps(g) {
-		if exact, err := ExactPack(g, root); err == nil && exact.Rate > min.Rate {
-			return exact, nil
-		}
-	}
-	return min, nil
+	p, _, err := NewPlannerPipeline(PipelineOptions{Pack: pOpts, Min: mOpts, Workers: 1}).PackRoot(g, root)
+	return p, err
 }
 
 func integerCaps(g *graph.Graph) bool {

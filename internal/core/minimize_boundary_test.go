@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"blink/internal/topology"
+)
+
+// Satellite regression: MinimizeOptions used to silently accept any MaxGrid,
+// but the relaxation walk doubles q from 1, so a non-power-of-two like 6
+// stopped at quarters instead of reaching the granularity the caller asked
+// for. setDefaults now normalizes up to the next power of two.
+func TestMinimizeOptionsNormalization(t *testing.T) {
+	cases := []struct {
+		name string
+		in   MinimizeOptions
+		want MinimizeOptions
+	}{
+		{"zero value", MinimizeOptions{}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxgrid 6 rounds to 8", MinimizeOptions{MaxGrid: 6}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxgrid 5 rounds to 8", MinimizeOptions{MaxGrid: 5}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxgrid 9 rounds to 16", MinimizeOptions{MaxGrid: 9}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 16}},
+		{"power of two kept", MinimizeOptions{MaxGrid: 4}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 4}},
+		{"maxgrid 1 kept", MinimizeOptions{MaxGrid: 1}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 1}},
+		{"negative maxgrid defaults", MinimizeOptions{MaxGrid: -3}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"threshold zero defaults", MinimizeOptions{Threshold: 0}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"threshold negative defaults", MinimizeOptions{Threshold: -0.1}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"threshold one defaults", MinimizeOptions{Threshold: 1}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"threshold above one defaults", MinimizeOptions{Threshold: 1.5}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"valid threshold kept", MinimizeOptions{Threshold: 0.2}, MinimizeOptions{Threshold: 0.2, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxcandidates zero defaults", MinimizeOptions{MaxCandidates: 0}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxcandidates negative defaults", MinimizeOptions{MaxCandidates: -1}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 64, MaxGrid: 8}},
+		{"maxcandidates kept", MinimizeOptions{MaxCandidates: 7}, MinimizeOptions{Threshold: 0.05, MaxCandidates: 7, MaxGrid: 8}},
+	}
+	for _, c := range cases {
+		got := c.in
+		got.setDefaults()
+		if got != c.want {
+			t.Errorf("%s: setDefaults() = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {6, 8}, {7, 8}, {8, 8}, {9, 16}, {100, 128},
+	} {
+		if got := nextPow2(c.in); got != c.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Non-power-of-two grids must still yield a valid packing no worse than the
+// default — the normalization must change granularity, never correctness.
+func TestMinimizeNonPow2GridEndToEnd(t *testing.T) {
+	g := topology.DGX1V().GPUGraph()
+	for _, maxGrid := range []int{1, 3, 6, 8} {
+		p, err := GenerateTrees(g, 0, PackOptions{}, MinimizeOptions{MaxGrid: maxGrid})
+		if err != nil {
+			t.Fatalf("MaxGrid=%d: %v", maxGrid, err)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("MaxGrid=%d: invalid packing: %v", maxGrid, err)
+		}
+		if p.Rate <= 0 {
+			t.Fatalf("MaxGrid=%d: rate %v", maxGrid, p.Rate)
+		}
+	}
+}

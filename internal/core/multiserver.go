@@ -283,20 +283,35 @@ func BuildThreePhaseAllToAll(c *topology.Cluster, fabrics []*simgpu.Fabric, netF
 // substituting the trivial packing for single-GPU servers.
 func resolvePackings(c *topology.Cluster, packFor PackFn, tp *ThreePhasePlans) ([][]*Packing, error) {
 	packs := make([][]*Packing, len(c.Servers))
+	type task struct{ si, p int }
+	var tasks []task
 	for si, s := range c.Servers {
 		packs[si] = make([]*Packing, tp.Partitions)
 		for p := 0; p < tp.Partitions; p++ {
-			root := tp.Roots[p][si]
 			if s.NumGPUs == 1 {
-				packs[si][p] = trivialPacking(root)
+				packs[si][p] = trivialPacking(tp.Roots[p][si])
 				continue
 			}
-			pk, err := packFor(si, root)
-			if err != nil {
-				return nil, fmt.Errorf("core: server %d root %d: %w", si, root, err)
-			}
-			packs[si][p] = pk
+			tasks = append(tasks, task{si, p})
 		}
+	}
+	// Per-(server, partition) packings are independent — each server has its
+	// own graph and packFor implementations cache per root — so fan them
+	// across the worker pool. Results land at fixed indices, so the merge
+	// (and everything compiled from it) is deterministic regardless of
+	// worker count.
+	err := parallelMap(len(tasks), 0, func(i int) error {
+		t := tasks[i]
+		root := tp.Roots[t.p][t.si]
+		pk, err := packFor(t.si, root)
+		if err != nil {
+			return fmt.Errorf("core: server %d root %d: %w", t.si, root, err)
+		}
+		packs[t.si][t.p] = pk
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return packs, nil
 }

@@ -96,7 +96,14 @@ func PackTrees(g *graph.Graph, root int, opts PackOptions) (*Packing, error) {
 		arbo   graph.Arborescence
 		weight float64
 	}
-	accum := map[string]*acc{}
+	// Accumulate in first-discovery order (a slice, with a map only for
+	// lookup): every later fold over the accumulated trees then happens in a
+	// deterministic order, so the float summations — and therefore the
+	// feasibility scale and the final weights — are byte-stable run to run.
+	// That determinism is what lets the planner pipeline fan per-root packing
+	// across a worker pool without perturbing plan bytes.
+	var accum []*acc
+	index := map[string]int{}
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		tree, total, err := graph.MinCostArborescence(g, root, cost)
@@ -114,12 +121,13 @@ func PackTrees(g *graph.Graph, root int, opts PackOptions) (*Packing, error) {
 			}
 		}
 		key := tree.Key()
-		a, ok := accum[key]
+		i, ok := index[key]
 		if !ok {
-			a = &acc{arbo: tree}
-			accum[key] = a
+			i = len(accum)
+			index[key] = i
+			accum = append(accum, &acc{arbo: tree})
 		}
-		a.weight += cmin
+		accum[i].weight += cmin
 		for _, id := range tree.Edges {
 			length[id] *= 1 + eps*cmin/g.Edges[id].Cap
 		}
