@@ -9,7 +9,7 @@ COVER_FLOOR_DNN ?= 70
 COVER_FLOOR_OBS ?= 85
 COVER_FLOOR_GRAPH ?= 75
 
-.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke compile-bench compile-smoke ci
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke compile-bench compile-smoke store-bench store-smoke ci
 
 all: build test
 
@@ -46,6 +46,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s ./internal/topology
 	$(GO) test -run '^$$' -fuzz '^FuzzExchangePlanBuilders$$' -fuzztime 15s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePlan$$' -fuzztime 15s ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -113,6 +114,16 @@ compile-bench:
 compile-smoke:
 	$(GO) run ./cmd/blinkbench -compilesmoke
 
+store-bench:
+	$(GO) run ./cmd/blinkbench -store -o BENCH_planStore.json
+
+# CI gate on the tiered plan cache: a cold-started engine over a warm
+# on-disk store must serve its first dispatch (decode + regenerate, no
+# packing) at least 10x faster than a cold compile, for every benchmarked
+# shape (see BENCH_planStore.json for the tracked run).
+store-smoke:
+	$(GO) run ./cmd/blinkbench -storesmoke
+
 obs:
 	$(GO) run ./cmd/blinkbench -obs -o BENCH_obs.txt
 
@@ -123,4 +134,4 @@ obs:
 obs-smoke:
 	$(GO) run ./cmd/blinkbench -obs -o /dev/null
 
-ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke compile-smoke
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke compile-smoke store-smoke

@@ -26,6 +26,7 @@ import (
 	"blink/internal/collective"
 	"blink/internal/core"
 	"blink/internal/obs"
+	"blink/internal/plansvc"
 	"blink/internal/simgpu"
 	"blink/internal/topology"
 	"blink/internal/trace"
@@ -98,6 +99,8 @@ type commConfig struct {
 	cache       *PlanCache
 	streams     int
 	asyncWindow int64
+	storeDir    string
+	serviceAddr string
 }
 
 // WithBackend selects the default backend (BackendBlink if unset).
@@ -139,6 +142,25 @@ func WithStreams(n int) Option { return func(c *commConfig) { c.streams = n } }
 // (default collective.DefaultAsyncWindowBytes; negative for unbounded).
 func WithAsyncWindow(bytes int64) Option { return func(c *commConfig) { c.asyncWindow = bytes } }
 
+// WithPlanStore persists compiled schedules under dir and warm-starts from
+// it: plans are serialized to their IR on compile and regenerated (with the
+// encoded header validated against the live topology) on the first dispatch
+// of a later process, which skips the expensive tree packing entirely. The
+// store is the middle tier of the plan cache — memory LRU, then disk, then
+// compile — and is safe to share between concurrent processes: writes are
+// atomic temp-file+rename, so readers never observe a torn plan. Cluster
+// communicators persist their per-server tree schedules; the cross-server
+// three-phase plans themselves stay memory-only.
+func WithPlanStore(dir string) Option { return func(c *commConfig) { c.storeDir = dir } }
+
+// WithPlanService consults a blinkd planning daemon (cmd/blinkd) at addr
+// ("host:port" or a full URL) whenever both cache tiers miss, before
+// compiling locally. Any service failure — unreachable daemon, topology
+// fingerprint mismatch, malformed blob — silently falls back to the local
+// compile, so the daemon removes cold-start latency but never gates
+// availability. Single-machine communicators only.
+func WithPlanService(addr string) Option { return func(c *commConfig) { c.serviceAddr = addr } }
+
 // PlanCache is a concurrency-safe LRU of compiled schedules, shareable
 // across communicators.
 type PlanCache = collective.PlanCache
@@ -177,6 +199,16 @@ func NewComm(machine *Machine, devs []int, opts ...Option) (*Comm, error) {
 		eng.SetPlanCache(cfg.cache)
 	} else if cfg.cacheCap != nil {
 		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
+	}
+	if cfg.storeDir != "" {
+		store, err := collective.NewPlanStore(cfg.storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("blink: open plan store: %w", err)
+		}
+		eng.SetPlanStore(store)
+	}
+	if cfg.serviceAddr != "" {
+		eng.SetPlanService(plansvc.NewClient(cfg.serviceAddr))
 	}
 	eng.ConfigureAsync(cfg.streams, cfg.asyncWindow)
 	return &Comm{eng: eng, backend: cfg.backend}, nil
@@ -818,6 +850,18 @@ func NewClusterComm(cluster *Cluster, opts ...Option) (*ClusterComm, error) {
 		eng.SetPlanCache(cfg.cache)
 	} else if cfg.cacheCap != nil {
 		eng.SetPlanCache(collective.NewPlanCache(*cfg.cacheCap))
+	}
+	if cfg.storeDir != "" {
+		store, err := collective.NewPlanStore(cfg.storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("blink: open plan store: %w", err)
+		}
+		eng.SetPlanStore(store)
+	}
+	if cfg.serviceAddr != "" {
+		// Cluster three-phase plans embed cross-server wiring the planning
+		// service cannot reproduce; fail loudly instead of silently ignoring.
+		return nil, fmt.Errorf("blink: WithPlanService is single-machine only (cluster plans are not remotely servable)")
 	}
 	eng.ConfigureAsync(cfg.streams, cfg.asyncWindow)
 	return &ClusterComm{eng: eng, backend: cfg.backend}, nil

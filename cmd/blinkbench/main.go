@@ -15,6 +15,8 @@
 //	blinkbench -obs -o BENCH_obs.txt                 # replay-determinism gate + metrics + span dump
 //	blinkbench -compile -o BENCH_compile.json        # staged compile: fast path + incremental repair
 //	blinkbench -compilesmoke                         # CI gate: fast path >=2x, incremental repair >=10x
+//	blinkbench -store -o BENCH_planStore.json        # tiered plan cache: compile vs disk vs memory vs blinkd
+//	blinkbench -storesmoke                           # CI gate: warm-disk cold-start >=10x vs cold compile
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "run the seeded replay-determinism gate and emit metrics + span dump")
 	compileFlag := flag.Bool("compile", false, "benchmark the staged compile pipeline (fast path, incremental repair) and emit JSON")
 	compileSmoke := flag.Bool("compilesmoke", false, "gate the fast-path (>=2x) and incremental-repair (>=10x) speedups, exit non-zero on failure")
+	storeFlag := flag.Bool("store", false, "benchmark cold compile vs warm-disk cold-start vs warm-memory replay vs blinkd round-trip and emit JSON")
+	storeSmoke := flag.Bool("storesmoke", false, "gate warm-disk cold-start >=10x faster than cold compile, exit non-zero on failure")
 	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed/-obs/-compile ('-' = stdout)")
 	flag.Parse()
 
@@ -75,6 +79,17 @@ func main() {
 	if *compileSmoke {
 		if err := compileCheck(); err != nil {
 			fmt.Fprintf(os.Stderr, "compile-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storeFlag {
+		storeMain(*out)
+		return
+	}
+	if *storeSmoke {
+		if err := storeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "store-smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"blink/internal/collective"
+	"blink/internal/plansvc"
+	"blink/internal/simgpu"
+	"blink/internal/topology"
+)
+
+// storeCase is one (op, payload) measurement across the four ways a process
+// can obtain a plan: compile it, decode it from the shared disk store on
+// first dispatch, replay it from the in-memory tier, or fetch it from a
+// blinkd planning service.
+type storeCase struct {
+	Op                 string  `json:"op"`
+	Bytes              int64   `json:"bytes"`
+	ColdCompileMillis  float64 `json:"coldCompileMillis"`
+	WarmDiskMillis     float64 `json:"warmDiskMillis"`
+	WarmMemoryMillis   float64 `json:"warmMemoryMillis"`
+	ServiceColdMillis  float64 `json:"serviceColdMillis"`
+	ServiceWarmMillis  float64 `json:"serviceWarmMillis"`
+	DiskSpeedup        float64 `json:"diskSpeedup"`
+	SimSeconds         float64 `json:"simSeconds"`
+	Strategy           string  `json:"strategy"`
+	DiskHits           uint64  `json:"diskHits"`
+	ServiceHits        uint64  `json:"serviceHits"`
+	ColdStartCompiles  uint64  `json:"coldStartCompiles"`
+	MeetsSpeedupOfTen  bool    `json:"meetsSpeedupOfTen"`
+	WarmMemoryIterates int     `json:"warmMemoryIters"`
+}
+
+// storeReport is the schema of BENCH_planStore.json.
+type storeReport struct {
+	Methodology string      `json:"methodology"`
+	Machine     string      `json:"machine"`
+	Devices     []int       `json:"devices"`
+	GoVersion   string      `json:"goVersion"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	Cases       []storeCase `json:"cases"`
+}
+
+const storeMethodology = "Each case measures wall-clock latency of the " +
+	"first dispatch of one collective shape on a full 8-GPU DGX-1V under " +
+	"four plan sources. coldCompile: a fresh engine with no store packs " +
+	"spanning trees, minimizes, generates code and simulates. warmDisk: a " +
+	"fresh engine (a cold-started process) attached to a store another " +
+	"engine already populated decodes the persisted IR, regenerates the " +
+	"schedule and simulates — no packing runs (coldStartCompiles stays 0, " +
+	"diskHits records 1). warmMemory: the mean over repeats on the same " +
+	"engine, i.e. frozen-plan replay from the memory tier. serviceCold / " +
+	"serviceWarm: a store-less engine fetches the encoded plan from an " +
+	"in-process blinkd over loopback HTTP; cold pays the daemon's compile, " +
+	"warm is a pure round-trip against the daemon's hot cache. diskSpeedup " +
+	"= coldCompile / warmDisk; the store-smoke CI gate requires >= 10x."
+
+// storeShape is one benchmark shape of the store matrix.
+type storeShape struct {
+	op    collective.Op
+	bytes int64
+}
+
+func storeShapes() []storeShape {
+	return []storeShape{
+		{collective.AllReduce, 64 << 20},
+		{collective.Broadcast, 64 << 20},
+		{collective.ReduceScatter, 64 << 20},
+		{collective.AllGather, 64 << 20},
+		{collective.AllReduce, 1 << 20},
+	}
+}
+
+// runStoreBench measures the tiered plan-cache paths and writes the JSON
+// report to out.
+func runStoreBench(out io.Writer) error {
+	const warmIters = 20
+	machine := topology.DGX1V()
+	devs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rep := storeReport{
+		Methodology: storeMethodology,
+		Machine:     machine.Name,
+		Devices:     devs,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+
+	dir, err := os.MkdirTemp("", "blinkbench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := collective.NewPlanStore(dir)
+	if err != nil {
+		return err
+	}
+
+	// One in-process blinkd over loopback serves every service-path case.
+	daemon := plansvc.NewServer(nil, collective.DefaultPlanCacheCapacity)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, daemon.Handler()) //nolint:errcheck // dies with the process
+	svcClient := plansvc.NewClient(ln.Addr().String())
+
+	newEngine := func() (*collective.Engine, error) {
+		return collective.NewEngine(machine, devs, simgpu.Config{})
+	}
+
+	// Populate the shared store once, off the clock, so every warm-disk
+	// engine below cold-starts against a store that already has its plan.
+	seed, err := newEngine()
+	if err != nil {
+		return err
+	}
+	seed.SetPlanStore(store)
+	for _, s := range storeShapes() {
+		if _, err := seed.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{}); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range storeShapes() {
+		// Cold compile: no store anywhere near this engine.
+		cold, err := newEngine()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		first, err := cold.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{})
+		if err != nil {
+			return err
+		}
+		coldDur := time.Since(start)
+
+		// Warm disk: a fresh engine over the populated store — the
+		// cold-started process of the acceptance criterion.
+		warm, err := newEngine()
+		if err != nil {
+			return err
+		}
+		warm.SetPlanStore(store)
+		start = time.Now()
+		res, err := warm.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{})
+		if err != nil {
+			return err
+		}
+		warmDiskDur := time.Since(start)
+		compiles := counterValue(warm, "blink_plan_compiles_total")
+		stats := warm.CacheStats()
+		if compiles != 0 || stats.DiskHits != 1 {
+			return fmt.Errorf("%s/%d: warm-disk first dispatch compiled %d plans, disk hits %d; the store tier is not serving",
+				s.op, s.bytes, compiles, stats.DiskHits)
+		}
+		if res.Seconds != first.Seconds {
+			return fmt.Errorf("%s/%d: decoded plan simulates %.9fs, compiled plan %.9fs",
+				s.op, s.bytes, res.Seconds, first.Seconds)
+		}
+
+		// Warm memory: replay from the memory tier on the same engine.
+		start = time.Now()
+		for i := 0; i < warmIters; i++ {
+			if _, err := warm.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{}); err != nil {
+				return err
+			}
+		}
+		warmMemDur := time.Since(start) / warmIters
+
+		// Service, cold daemon: the round-trip pays blinkd's compile once.
+		svcCold, err := newEngine()
+		if err != nil {
+			return err
+		}
+		svcCold.SetPlanService(svcClient)
+		start = time.Now()
+		if _, err := svcCold.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{}); err != nil {
+			return err
+		}
+		svcColdDur := time.Since(start)
+		if counterValue(svcCold, "blink_plan_service_hits_total") != 1 {
+			return fmt.Errorf("%s/%d: service path did not serve the plan", s.op, s.bytes)
+		}
+
+		// Service, warm daemon: pure fetch + decode against blinkd's cache.
+		svcWarm, err := newEngine()
+		if err != nil {
+			return err
+		}
+		svcWarm.SetPlanService(svcClient)
+		start = time.Now()
+		if _, err := svcWarm.Run(collective.Blink, s.op, 0, s.bytes, collective.Options{}); err != nil {
+			return err
+		}
+		svcWarmDur := time.Since(start)
+
+		speedup := float64(coldDur) / float64(warmDiskDur)
+		rep.Cases = append(rep.Cases, storeCase{
+			Op:                 s.op.String(),
+			Bytes:              s.bytes,
+			ColdCompileMillis:  float64(coldDur) / 1e6,
+			WarmDiskMillis:     float64(warmDiskDur) / 1e6,
+			WarmMemoryMillis:   float64(warmMemDur) / 1e6,
+			ServiceColdMillis:  float64(svcColdDur) / 1e6,
+			ServiceWarmMillis:  float64(svcWarmDur) / 1e6,
+			DiskSpeedup:        speedup,
+			SimSeconds:         first.Seconds,
+			Strategy:           first.Strategy,
+			DiskHits:           stats.DiskHits,
+			ServiceHits:        counterValue(svcCold, "blink_plan_service_hits_total"),
+			ColdStartCompiles:  compiles,
+			MeetsSpeedupOfTen:  speedup >= 10,
+			WarmMemoryIterates: warmIters,
+		})
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// counterValue reads one engine counter, zero if the metric is absent.
+func counterValue(e *collective.Engine, name string) uint64 {
+	if c := e.Metrics().Counter(name); c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// storeMain handles the -store flag.
+func storeMain(path string) {
+	writeReport(path, "store", runStoreBench)
+}
+
+// storeCheck re-runs the store bench discarding output and exits non-zero
+// unless every case decodes from disk at least 10x faster than a cold
+// compile. Used by `make store-smoke`.
+func storeCheck() error {
+	var buf jsonCapture
+	if err := runStoreBench(&buf); err != nil {
+		return err
+	}
+	var rep storeReport
+	if err := json.Unmarshal(buf.data, &rep); err != nil {
+		return err
+	}
+	worst := 0.0
+	for i, c := range rep.Cases {
+		if !c.MeetsSpeedupOfTen {
+			return fmt.Errorf("%s/%dB: warm-disk cold-start speedup %.2fx < 10x (cold %.2fms, warm disk %.2fms)",
+				c.Op, c.Bytes, c.DiskSpeedup, c.ColdCompileMillis, c.WarmDiskMillis)
+		}
+		if i == 0 || c.DiskSpeedup < worst {
+			worst = c.DiskSpeedup
+		}
+	}
+	if len(rep.Cases) == 0 {
+		return fmt.Errorf("store bench produced no cases")
+	}
+	fmt.Printf("store-smoke: %d shapes, worst warm-disk cold-start speedup %.1fx (>=10x)\n",
+		len(rep.Cases), worst)
+	return nil
+}

@@ -1,0 +1,56 @@
+// Command blinkd is the Blink planning daemon: a stateless HTTP service
+// that compiles collective schedules on behalf of remote training
+// processes. A client (blink.WithPlanService, or any HTTP caller) posts a
+// JSON plan request — base machine, device allocation, timing model, and
+// the plan-key coordinates — and receives the versioned binary plan blob
+// that core.EncodePlan produces; the client validates it against its own
+// topology and regenerates the executable schedule from the embedded IR.
+//
+// The daemon keeps its own tiered plan cache (memory LRU, plus an optional
+// shared on-disk store under -store), so a fleet of training jobs over the
+// same topology pays each spanning-tree packing exactly once.
+//
+// Endpoints:
+//
+//	POST /v1/plan   JSON plansvc request in, binary plan blob out
+//	GET  /healthz   liveness
+//	GET  /metrics   Prometheus text (cache tiers + request counters)
+//
+// Usage:
+//
+//	blinkd -addr :7070 -store /var/lib/blink/plans -cache 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"blink/internal/collective"
+	"blink/internal/plansvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	storeDir := flag.String("store", "", "on-disk plan store directory (empty = memory-only)")
+	cacheCap := flag.Int("cache", collective.DefaultPlanCacheCapacity, "in-memory plan cache capacity")
+	flag.Parse()
+
+	var store *collective.PlanStore
+	if *storeDir != "" {
+		s, err := collective.NewPlanStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blinkd: open plan store: %v\n", err)
+			os.Exit(1)
+		}
+		store = s
+	}
+
+	srv := plansvc.NewServer(store, *cacheCap)
+	fmt.Printf("blinkd: serving plans on %s (store=%q, cache=%d)\n", *addr, *storeDir, *cacheCap)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "blinkd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -59,16 +59,35 @@ type CachedPlan struct {
 	Strategy    string
 }
 
-// CacheStats is a point-in-time snapshot of cache activity.
+// CacheStats is a point-in-time snapshot of cache activity with per-tier
+// attribution. The invariant Hits + Misses == lookups holds across tiers:
+// every lookup resolves to exactly one of a memory hit, a disk hit, or a
+// miss (Hits == MemoryHits + DiskHits).
 type CacheStats struct {
-	// Hits counts Run dispatches that replayed a cached plan, skipping
-	// TreeGen, minimization and CodeGen entirely.
+	// Hits counts Run dispatches that replayed a cached plan — from either
+	// tier — skipping TreeGen, minimization and (for memory hits) CodeGen.
 	Hits uint64
+	// MemoryHits counts lookups satisfied by the in-memory LRU.
+	MemoryHits uint64
+	// DiskHits counts lookups that missed memory but loaded, validated and
+	// regenerated a plan from the on-disk PlanStore.
+	DiskHits uint64
 	// Misses counts dispatches that had to compile.
 	Misses uint64
-	// Entries is the number of plans currently resident.
+	// Promotions counts disk hits promoted into the memory tier.
+	Promotions uint64
+	// DiskPuts counts plans persisted to the disk tier.
+	DiskPuts uint64
+	// StoreErrors counts disk-tier failures (corrupt files, undecodable
+	// blobs, write errors); each also counts toward Misses when it happened
+	// on the lookup path.
+	StoreErrors uint64
+	// Entries is the number of plans resident in memory.
 	Entries int
-	// Evictions counts plans dropped by the LRU policy.
+	// DiskEntries is the number of plans on disk (0 when no store attached).
+	DiskEntries int
+	// Evictions counts plans dropped by the LRU policy (memory tier only;
+	// the disk tier is unbounded and pruned by InvalidateFingerprint).
 	Evictions uint64
 }
 
@@ -79,17 +98,26 @@ type CacheStats struct {
 // growing without limit.
 const DefaultPlanCacheCapacity = 128
 
-// PlanCache is a concurrency-safe LRU of frozen schedules. It may be shared
-// across engines/communicators (keys carry the topology fingerprint); a
-// zero-capacity cache stores nothing but still counts misses.
+// PlanCache is a concurrency-safe tiered cache of frozen schedules: an
+// in-memory LRU in front of an optional on-disk PlanStore (SetStore), in
+// front of compilation. It may be shared across engines/communicators (keys
+// carry the topology fingerprint); a zero-capacity cache stores nothing in
+// memory but still counts misses and still serves the disk tier.
 type PlanCache struct {
 	mu        sync.Mutex
 	capacity  int
 	order     *list.List // front = most recently used; values are *cacheEntry
 	entries   map[PlanKey]*list.Element
-	hits      atomic.Uint64
+	hits      atomic.Uint64 // memory-tier hits
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// Disk-tier state: the store itself plus its attribution counters.
+	store       atomic.Pointer[PlanStore]
+	diskHits    atomic.Uint64
+	promotions  atomic.Uint64
+	diskPuts    atomic.Uint64
+	storeErrors atomic.Uint64
 
 	// obs mirrors the counters into a metrics registry (Instrument). The
 	// handles are resolved once and atomic thereafter; a zero cacheMetrics
@@ -101,6 +129,7 @@ type PlanCache struct {
 // cacheMetrics is the registry-resolved handle bundle of one PlanCache.
 type cacheMetrics struct {
 	lookups, hits, misses, evictions, invalidated *obs.Counter
+	diskHits, diskPuts, promotions, storeErrors   *obs.Counter
 	entries                                       *obs.Gauge
 }
 
@@ -115,6 +144,10 @@ func (c *PlanCache) Instrument(reg *obs.Registry) {
 		misses:      reg.Counter("blink_plan_cache_misses_total"),
 		evictions:   reg.Counter("blink_plan_cache_evictions_total"),
 		invalidated: reg.Counter("blink_plan_cache_invalidated_total"),
+		diskHits:    reg.Counter("blink_plan_cache_disk_hits_total"),
+		diskPuts:    reg.Counter("blink_plan_cache_disk_puts_total"),
+		promotions:  reg.Counter("blink_plan_cache_promotions_total"),
+		storeErrors: reg.Counter("blink_plan_cache_store_errors_total"),
 		entries:     reg.Gauge("blink_plan_cache_entries"),
 	})
 }
@@ -127,7 +160,10 @@ func (c *PlanCache) metrics() *cacheMetrics {
 	}
 	m := &cacheMetrics{
 		lookups: &obs.Counter{}, hits: &obs.Counter{}, misses: &obs.Counter{},
-		evictions: &obs.Counter{}, invalidated: &obs.Counter{}, entries: &obs.Gauge{},
+		evictions: &obs.Counter{}, invalidated: &obs.Counter{},
+		diskHits: &obs.Counter{}, diskPuts: &obs.Counter{},
+		promotions: &obs.Counter{}, storeErrors: &obs.Counter{},
+		entries: &obs.Gauge{},
 	}
 	// Racing stores are both valid no-op bundles; either wins harmlessly.
 	c.obs.CompareAndSwap(nil, m)
@@ -149,8 +185,61 @@ func NewPlanCache(capacity int) *PlanCache {
 	}
 }
 
+// Tier identifies which cache tier satisfied a lookup.
+type Tier int
+
+const (
+	// TierNone marks a full miss (the caller must compile).
+	TierNone Tier = iota
+	// TierMemory marks an in-memory LRU hit.
+	TierMemory
+	// TierDisk marks a plan loaded from the on-disk PlanStore (and promoted
+	// into memory).
+	TierDisk
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// PlanDecoder rehydrates a cached plan from an encoded blob loaded off the
+// disk tier. The engine supplies it per lookup because decoding needs the
+// live engine state: the blob's header is validated against the engine's
+// topology and its schedule regenerated over the engine's fabric.
+type PlanDecoder func(encoded []byte) (*CachedPlan, error)
+
+// SetStore attaches (or, with nil, detaches) the on-disk tier. Keys carry
+// the topology fingerprint, so one store may back many caches and many
+// processes concurrently.
+func (c *PlanCache) SetStore(s *PlanStore) { c.store.Store(s) }
+
+// Store returns the attached on-disk tier (nil when memory-only).
+func (c *PlanCache) Store() *PlanStore { return c.store.Load() }
+
 // Get returns the cached plan for the key, marking it most recently used.
+// Only the memory tier is consulted — callers able to rehydrate encoded
+// plans use GetTiered.
 func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
+	cp, tier, _ := c.GetTiered(k, nil)
+	return cp, tier != TierNone
+}
+
+// GetTiered resolves a key through the tiers in order: memory LRU first,
+// then (when a store is attached and decode is non-nil) the on-disk
+// PlanStore, whose blobs are decoded, validated and promoted into memory.
+// Exactly one of {memory hit, disk hit, miss} is recorded per call, so
+// hits + misses always equals lookups. A disk-tier failure (corrupt file,
+// stale or undecodable blob) removes the offending file, counts as a miss
+// and returns the error alongside the miss for observability.
+func (c *PlanCache) GetTiered(k PlanKey, decode PlanDecoder) (*CachedPlan, Tier, error) {
 	c.mu.Lock()
 	el, ok := c.entries[k]
 	var v *CachedPlan
@@ -163,28 +252,90 @@ func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
 	c.mu.Unlock()
 	m := c.metrics()
 	m.lookups.Inc()
-	if !ok {
+	if ok {
+		c.hits.Add(1)
+		m.hits.Inc()
+		return v, TierMemory, nil
+	}
+	miss := func() {
 		c.misses.Add(1)
 		m.misses.Inc()
-		return nil, false
 	}
-	c.hits.Add(1)
-	m.hits.Inc()
-	return v, true
+	s := c.store.Load()
+	if s == nil || decode == nil {
+		miss()
+		return nil, TierNone, nil
+	}
+	blob, err := s.Get(k)
+	if err != nil {
+		c.storeErrors.Add(1)
+		m.storeErrors.Inc()
+		miss()
+		return nil, TierNone, err
+	}
+	if blob == nil {
+		miss()
+		return nil, TierNone, nil
+	}
+	cp, err := decode(blob)
+	if err != nil {
+		// The file was intact but unusable here (format skew, foreign
+		// builder set): drop it so the slot recompiles and re-persists.
+		s.Delete(k)
+		c.storeErrors.Add(1)
+		m.storeErrors.Inc()
+		miss()
+		return nil, TierNone, err
+	}
+	c.diskHits.Add(1)
+	m.diskHits.Inc()
+	// Promote so later dispatches replay from memory without re-decoding.
+	if c.putMemory(k, cp) {
+		c.promotions.Add(1)
+		m.promotions.Inc()
+	}
+	return cp, TierDisk, nil
 }
 
-// Put inserts (or replaces) the plan under the key, evicting the least
-// recently used entry if the cache is full.
-func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
-	if c.capacity <= 0 {
+// Put inserts (or replaces) the plan under the key in the memory tier,
+// evicting the least recently used entry if the cache is full.
+func (c *PlanCache) Put(k PlanKey, v *CachedPlan) { c.putMemory(k, v) }
+
+// PutTiered publishes a plan to the memory tier and, when a store is
+// attached and an encoded form is supplied, persists it to the disk tier
+// (atomic temp-file + rename). A nil encoded blob (cluster plans, plans
+// without an IR) publishes to memory only.
+func (c *PlanCache) PutTiered(k PlanKey, v *CachedPlan, encoded []byte) {
+	c.putMemory(k, v)
+	if len(encoded) == 0 {
 		return
+	}
+	s := c.store.Load()
+	if s == nil {
+		return
+	}
+	m := c.metrics()
+	if err := s.Put(k, encoded); err != nil {
+		c.storeErrors.Add(1)
+		m.storeErrors.Inc()
+		return
+	}
+	c.diskPuts.Add(1)
+	m.diskPuts.Inc()
+}
+
+// putMemory is the memory-tier insert shared by Put, PutTiered and the
+// disk-hit promotion path; it reports whether the plan was stored.
+func (c *PlanCache) putMemory(k PlanKey, v *CachedPlan) bool {
+	if c.capacity <= 0 {
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		el.Value.(*cacheEntry).value = v
 		c.order.MoveToFront(el)
-		return
+		return true
 	}
 	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, value: v})
 	m := c.metrics()
@@ -199,17 +350,18 @@ func (c *PlanCache) Put(k PlanKey, v *CachedPlan) {
 		m.evictions.Inc()
 	}
 	m.entries.Set(int64(len(c.entries)))
+	return true
 }
 
 // InvalidateFingerprint drops every plan compiled for the given topology
-// fingerprint and returns how many were removed. Reconfiguration calls it
-// for the pre-fault fingerprint so schedules for a dead topology stop
-// pinning LRU slots; in a cache shared across engines this also evicts the
-// entries of other engines still on that topology, which costs them a
-// recompile but never correctness.
+// fingerprint — from both the memory and the disk tier — and returns how
+// many entries were removed in total. Reconfiguration calls it for the
+// pre-fault fingerprint so schedules for a dead topology stop pinning LRU
+// slots or disk space; in a cache or store shared across engines this also
+// evicts the entries of other engines still on that topology, which costs
+// them a recompile but never correctness.
 func (c *PlanCache) InvalidateFingerprint(fp string) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
 	for el := c.order.Front(); el != nil; {
 		next := el.Next()
@@ -224,6 +376,12 @@ func (c *PlanCache) InvalidateFingerprint(fp string) int {
 	m := c.metrics()
 	m.invalidated.Add(uint64(removed))
 	m.entries.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+	if s := c.store.Load(); s != nil {
+		n := s.InvalidateFingerprint(fp)
+		m.invalidated.Add(uint64(n))
+		removed += n
+	}
 	return removed
 }
 
@@ -234,12 +392,22 @@ func (c *PlanCache) Len() int {
 	return len(c.entries)
 }
 
-// Stats snapshots cache counters.
+// Stats snapshots cache counters across both tiers.
 func (c *PlanCache) Stats() CacheStats {
-	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Entries:   c.Len(),
-		Evictions: c.evictions.Load(),
+	mem, disk := c.hits.Load(), c.diskHits.Load()
+	st := CacheStats{
+		Hits:        mem + disk,
+		MemoryHits:  mem,
+		DiskHits:    disk,
+		Misses:      c.misses.Load(),
+		Promotions:  c.promotions.Load(),
+		DiskPuts:    c.diskPuts.Load(),
+		StoreErrors: c.storeErrors.Load(),
+		Entries:     c.Len(),
+		Evictions:   c.evictions.Load(),
 	}
+	if s := c.store.Load(); s != nil {
+		st.DiskEntries = s.Len()
+	}
+	return st
 }

@@ -39,6 +39,12 @@ type ClusterEngine struct {
 	cfgKey simgpu.Config
 	id     uint64
 	cache  *PlanCache
+	// store is the on-disk tier applied to every per-server engine (cluster
+	// plans themselves are memory-only — their phase schedules embed
+	// cross-server wiring with no serializable IR — but the per-server tree
+	// plans warm-start from disk like any single-machine engine's). Kept so
+	// reconfigurations re-attach it to freshly probed server engines.
+	store *PlanStore
 
 	// async is the lazily started stream scheduler behind RunAsync.
 	async asyncRuntime
@@ -185,6 +191,11 @@ func (e *ClusterEngine) reconfigureLocked(c *topology.Cluster) error {
 	if err != nil {
 		return err
 	}
+	if e.store != nil {
+		for _, eng := range st.engines {
+			eng.SetPlanStore(e.store)
+		}
+	}
 	e.st.Store(st)
 	if st.fingerprint != old.fingerprint {
 		e.cache.InvalidateFingerprint(old.fingerprint)
@@ -259,6 +270,20 @@ func (e *ClusterEngine) SetPlanCache(c *PlanCache) {
 
 // PlanCacheHandle returns the engine's plan cache.
 func (e *ClusterEngine) PlanCacheHandle() *PlanCache { return e.cache }
+
+// SetPlanStore attaches an on-disk plan store to every per-server engine
+// (and to future server engines probed by reconfigurations), so the
+// intra-machine tree schedules warm-start across processes. Cluster-level
+// three-phase plans stay memory-only: their schedules embed cross-server
+// wiring with no serializable IR. Nil detaches.
+func (e *ClusterEngine) SetPlanStore(s *PlanStore) {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	e.store = s
+	for _, eng := range e.st.Load().engines {
+		eng.SetPlanStore(s)
+	}
+}
 
 // CacheStats snapshots the engine's plan-cache counters.
 func (e *ClusterEngine) CacheStats() CacheStats { return e.cache.Stats() }

@@ -155,10 +155,12 @@ func (e *Engine) refine(st *engineState, entry *packEntry, g *graph.Graph, root 
 			if perr != nil {
 				continue
 			}
-			// cache.Put is the atomic publish: replays in flight keep the
-			// frozen plan they already resolved; the next dispatch replays
-			// the refined schedule.
-			e.cache.Put(ps.key, &CachedPlan{Plan: plan.Freeze(), Strategy: strategy})
+			// The tiered Put is the atomic publish: replays in flight keep
+			// the frozen plan they already resolved; the next dispatch
+			// replays the refined schedule, and the disk tier is rewritten so
+			// other processes warm-start from the refined packing too.
+			cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
+			e.cache.PutTiered(ps.key, cp, encodeCachedPlan(cp))
 			e.mRefineSwaps.Inc()
 		}
 	}()
@@ -201,7 +203,7 @@ func (e *Engine) finishFastPlan(st *engineState, approxRoots []int, ps pendingSw
 		return nil
 	}
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
-	e.cache.Put(ps.key, cp)
+	e.cache.PutTiered(ps.key, cp, encodeCachedPlan(cp))
 	return cp
 }
 

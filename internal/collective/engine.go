@@ -198,6 +198,11 @@ type Engine struct {
 	// cache holds compiled schedules; replaceable via SetPlanCache so many
 	// engines can share one cache.
 	cache *PlanCache
+	// svc is the optional remote planning service (blinkd) consulted after
+	// both cache tiers miss and before compiling locally; a fetch or decode
+	// failure falls back to the local compile, so the service can only ever
+	// remove latency, not availability.
+	svc PlanService
 
 	// async is the lazily started stream scheduler behind RunAsync.
 	async asyncRuntime
@@ -226,6 +231,8 @@ type Engine struct {
 	// Fast-path, refinement-swap and repair-outcome counters.
 	mFastCompiles, mRefineSwaps *obs.Counter
 	mRepairs, mRepairFallbacks  *obs.Counter
+	// Remote-planner outcome counters.
+	mServiceHits, mServiceErrors *obs.Counter
 }
 
 // engineIDs hands every engine a distinct nonzero identity.
@@ -299,6 +306,8 @@ func (e *Engine) resolveMetrics() {
 	e.mRefineSwaps = e.obsReg.Counter("blink_refine_swaps_total")
 	e.mRepairs = e.obsReg.Counter("blink_repair_incremental_total")
 	e.mRepairFallbacks = e.obsReg.Counter("blink_repair_fallback_total")
+	e.mServiceHits = e.obsReg.Counter("blink_plan_service_hits_total")
+	e.mServiceErrors = e.obsReg.Counter("blink_plan_service_errors_total")
 }
 
 // Metrics returns the engine's metrics registry: plan-cache activity,
@@ -607,7 +616,16 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 		// the plan must never be replayed from another engine.
 		key.EngineID = e.id
 	}
-	if cp, ok := e.cache.Get(key); ok {
+	// Memory tier, then (when a PlanStore is attached) the disk tier: a
+	// disk hit decodes the stored IR, validates its header against this
+	// engine's topology and regenerates the schedule — the packing pipeline
+	// never runs, which is the whole point of the tier.
+	if cp, _, _ := e.cache.GetTiered(key, e.planDecoder(st)); cp != nil {
+		return cp, true, nil
+	}
+	// Remote planner (blinkd), if configured: still cheaper than packing
+	// locally, and its blob lands in both local tiers on success.
+	if cp := e.fetchFromService(st, key, opts); cp != nil {
 		return cp, true, nil
 	}
 	// The simulator's per-link FIFO arbitration is already fair, so the
@@ -615,7 +633,6 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 	// needed here; separate streams let launch overheads overlap, matching
 	// asynchronous CUDA stream issue.
 	po := core.PlanOptions{ChunkBytes: chunk, DataMode: opts.DataMode, NoStreamReuse: true}
-	ro := ring.Options{ChunkBytes: chunk, DataMode: opts.DataMode}
 
 	var plan *core.Plan
 	var err error
@@ -625,18 +642,18 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 	t0 := time.Now()
 	switch {
 	case st.switchFabric != nil:
-		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, ro, opts)
+		plan, strategy, err = switchPlan(st, b, op, root, bytes, po, opts)
 	case b == Blink:
 		plan, strategy, approxRoots, err = blinkPlan(e, st, op, root, bytes, po, opts)
 	default:
-		plan, strategy, err = ncclPlan(st, op, root, bytes, po, ro, opts)
+		plan, strategy, err = ncclPlan(st, op, root, bytes, po, opts)
 	}
 	if err != nil {
 		return nil, false, err
 	}
 	e.observeStage(core.StageCodegen, time.Since(t0).Seconds())
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
-	e.cache.Put(key, cp)
+	e.cache.PutTiered(key, cp, encodeCachedPlan(cp))
 	if len(approxRoots) > 0 {
 		// The plan embeds fast-path packings: register it for the refinement
 		// swap (or republish from the refined packings if refinement already
@@ -800,16 +817,54 @@ func shapeKey(op Op, opts Options) string {
 	return sb.String()
 }
 
-// blinkPlan compiles a Blink schedule on a point-to-point machine. It also
-// reports which roots' packings were fast-path approximations at compile
-// time (nil when none), so the caller can register the plan for the
-// background refinement swap.
+// treeIRKind maps a tree-scheduled collective to its IR kind plus the
+// strategy suffix the engine reports (AllGather shares AllReduce's transfer
+// schedule; ReduceScatter and Reduce share the reduce schedule — the paper
+// makes the same identifications).
+func treeIRKind(op Op) (core.IRKind, string, error) {
+	switch op {
+	case Broadcast:
+		return core.IRTreeBroadcast, "", nil
+	case Gather:
+		return core.IRTreeGather, "", nil
+	case AllReduce:
+		return core.IRTreeAllReduce, "", nil
+	case AllGather:
+		return core.IRTreeAllGather, "+allgather", nil
+	case ReduceScatter:
+		return core.IRTreeReduceScatter, "+reducescatter", nil
+	case Reduce:
+		return core.IRTreeReduce, "+reduce", nil
+	case Scatter:
+		return core.IRTreeScatter, "+scatter", nil
+	default:
+		return 0, "", fmt.Errorf("collective: unsupported op %v", op)
+	}
+}
+
+// toIRPairs converts ring-layer transfer pairs into their IR form.
+func toIRPairs(pairs []ring.P2PPair) []core.IRPair {
+	out := make([]core.IRPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = core.IRPair{Src: p.Src, Dst: p.Dst, Bytes: p.Bytes}
+	}
+	return out
+}
+
+// blinkPlan compiles a Blink schedule on a point-to-point machine: it
+// resolves the packings the op needs, records them (plus the op shape) into
+// a serializable PlanIR, and hands the IR to core.CodeGen. It also reports
+// which roots' packings were fast-path approximations at compile time (nil
+// when none), so the caller can register the plan for the background
+// refinement swap.
 func blinkPlan(e *Engine, st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, []int, error) {
 	// NVLink alone may not span the allocation: Blink then packs PCIe trees
 	// (and routes point-to-point traffic through the hub).
 	f, pcie, strategy := st.nvlFabric, false, "trees"
+	fsel := core.FabricNVLink
 	if !st.nvlConnected {
 		f, pcie, strategy = st.pcieFabric, true, "pcie-trees"
+		fsel = core.FabricPCIe
 	}
 	var approxRoots []int
 	packAt := func(r int) (*core.Packing, error) {
@@ -819,141 +874,125 @@ func blinkPlan(e *Engine, st *engineState, op Op, root int, bytes int64, po core
 		}
 		return p, err
 	}
+	ir := &core.PlanIR{Fabric: fsel, Root: root, Bytes: bytes, Opts: po}
 	switch op {
 	case AllToAll:
-		plan, err := core.BuildAllToAllPlan(f, packAt, bytes, po)
-		return plan, strategy + "+alltoall", approxRoots, err
+		n := st.topo.NumGPUs
+		packs := make([]*core.Packing, n)
+		for r := 0; r < n; r++ {
+			p, err := packAt(r)
+			if err != nil {
+				return nil, "", nil, err
+			}
+			packs[r] = p
+		}
+		ir.Kind, ir.Packings, ir.Strategy = core.IRTreeAllToAll, packs, strategy+"+alltoall"
 	case SendRecv:
-		plan, err := core.BuildSendRecvChainPlan(f, opts.Chain, bytes, po)
-		return plan, strategy + "+sendrecv", nil, err
+		ir.Kind, ir.Chain, ir.Strategy = core.IRSendRecvChain, opts.Chain, strategy+"+sendrecv"
+		approxRoots = nil
 	case NeighborExchange:
-		plan, err := core.BuildNeighborExchangePlan(f, opts.Neighbors, bytes, po)
-		return plan, strategy + "+neighbor", nil, err
+		ir.Kind, ir.Neighbors, ir.Strategy = core.IRNeighborExchange, opts.Neighbors, strategy+"+neighbor"
+		approxRoots = nil
+	default:
+		if opts.Hybrid && op == Broadcast && st.nvlConnected {
+			// Hybrid is handled by RunHybridBroadcast; plain Run ignores it
+			// for non-broadcast ops.
+			return nil, "", nil, fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
+		}
+		kind, suffix, err := treeIRKind(op)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		p, err := packAt(root)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ir.Kind, ir.Packings, ir.Strategy = kind, []*core.Packing{p}, strategy+suffix
 	}
-	p, err := packAt(root)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	if opts.Hybrid && op == Broadcast && st.nvlConnected {
-		// Hybrid is handled by RunHybridBroadcast; plain Run ignores it for
-		// non-broadcast ops.
-		return nil, "", nil, fmt.Errorf("collective: use RunHybridBroadcast for hybrid transfers")
-	}
-	plan, strategy, err := planFor(op, f, p, bytes, po, strategy)
-	return plan, strategy, approxRoots, err
+	plan, err := core.CodeGen(ir, f)
+	return plan, ir.Strategy, approxRoots, err
 }
 
-// ncclPlan compiles the baseline schedule on a point-to-point machine.
-func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options, opts Options) (*core.Plan, string, error) {
+// ncclPlan compiles the baseline schedule on a point-to-point machine
+// through the same IR path: the IR records which ring family was selected;
+// the rings themselves are recomputed from the fabric at codegen.
+func ncclPlan(st *engineState, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
 	rings := st.ncclRings()
-	if isP2POp(op) {
+	// Figure 2b: no NVLink ring -> PCIe fallback.
+	f, fsel, pcie := st.nvlFabric, core.FabricNVLink, len(rings) == 0
+	if pcie {
+		f, fsel = st.pcieFabric, core.FabricPCIe
+	}
+	ir := &core.PlanIR{Fabric: fsel, Root: root, Bytes: bytes, Opts: po}
+	switch {
+	case isP2POp(op):
 		pairs, chained, err := p2pPairs(op, st.topo.NumGPUs, bytes, opts)
 		if err != nil {
 			return nil, "", err
 		}
-		if len(rings) == 0 {
-			plan, err := ring.BuildPCIeP2PPlan(st.pcieFabric, st.topo.NumGPUs, pairs, chained, ro)
-			return plan, "pcie-ring", err
+		ir.Pairs, ir.Chained = toIRPairs(pairs), chained
+		ir.Kind, ir.Strategy = core.IRRingP2P, "rings"
+		if pcie {
+			ir.Kind, ir.Strategy = core.IRPCIeP2P, "pcie-ring"
 		}
-		plan, err := ring.BuildRingP2PPlan(st.nvlFabric, rings, pairs, chained, ro)
-		return plan, "rings", err
-	}
-	if len(rings) == 0 {
-		// Figure 2b: no NVLink ring -> PCIe fallback.
-		n := st.topo.NumGPUs
-		switch op {
-		case Broadcast, Gather, Scatter:
-			plan, err := ring.BuildPCIeBroadcastPlan(st.pcieFabric, n, root, bytes, ro)
-			return plan, "pcie-ring", err
-		default:
-			plan, err := ring.BuildPCIeAllReducePlan(st.pcieFabric, n, bytes, ro)
-			return plan, "pcie-ring", err
+	case op == Broadcast || op == Gather || op == Scatter:
+		ir.Kind, ir.Strategy = core.IRRingBroadcast, "rings"
+		if pcie {
+			ir.Kind, ir.Strategy = core.IRPCIeBroadcast, "pcie-ring"
 		}
-	}
-	switch op {
-	case Broadcast, Gather, Scatter:
-		plan, err := ring.BuildBroadcastPlan(st.nvlFabric, rings, root, bytes, ro)
-		return plan, "rings", err
 	default:
-		plan, err := ring.BuildAllReducePlan(st.nvlFabric, rings, bytes, ro)
-		return plan, "rings", err
+		ir.Kind, ir.Strategy = core.IRRingAllReduce, "rings"
+		if pcie {
+			ir.Kind, ir.Strategy = core.IRPCIeAllReduce, "pcie-ring"
+		}
 	}
+	plan, err := core.CodeGen(ir, f)
+	return plan, ir.Strategy, err
 }
 
-// switchPlan compiles DGX-2 schedules.
-func switchPlan(st *engineState, b Backend, op Op, root int, bytes int64, po core.PlanOptions, ro ring.Options, opts Options) (*core.Plan, string, error) {
+// switchPlan compiles DGX-2 schedules through the IR path: Blink ops
+// schedule over the precomputed one-hop packings (recorded into the IR);
+// the NCCL baseline uses the switch ring and double-binary-tree kinds.
+func switchPlan(st *engineState, b Backend, op Op, root int, bytes int64, po core.PlanOptions, opts Options) (*core.Plan, string, error) {
+	f := st.switchFabric
+	ir := &core.PlanIR{Fabric: core.FabricSwitch, Root: root, Bytes: bytes, Opts: po}
 	if b == Blink {
 		switch op {
 		case Broadcast, Gather, Scatter:
-			p := st.oneHop[root]
-			return planFor(op, st.switchFabric, p, bytes, po, "one-hop")
+			kind, suffix, err := treeIRKind(op)
+			if err != nil {
+				return nil, "", err
+			}
+			ir.Kind, ir.Packings, ir.Strategy = kind, []*core.Packing{st.oneHop[root]}, "one-hop"+suffix
 		case AllToAll:
-			plan, err := core.BuildAllToAllPlan(st.switchFabric, func(r int) (*core.Packing, error) {
-				return st.oneHop[r], nil
-			}, bytes, po)
-			return plan, "one-hop+alltoall", err
+			ir.Kind, ir.Packings, ir.Strategy = core.IRTreeAllToAll, st.oneHop, "one-hop+alltoall"
 		case SendRecv:
-			plan, err := core.BuildSendRecvChainPlan(st.switchFabric, opts.Chain, bytes, po)
-			return plan, "one-hop+sendrecv", err
+			ir.Kind, ir.Chain, ir.Strategy = core.IRSendRecvChain, opts.Chain, "one-hop+sendrecv"
 		case NeighborExchange:
-			plan, err := core.BuildNeighborExchangePlan(st.switchFabric, opts.Neighbors, bytes, po)
-			return plan, "one-hop+neighbor", err
+			ir.Kind, ir.Neighbors, ir.Strategy = core.IRNeighborExchange, opts.Neighbors, "one-hop+neighbor"
 		default:
-			plan, err := core.BuildDGX2AllReducePlan(st.switchFabric, st.oneHop, bytes, po)
-			return plan, "one-hop", err
+			ir.Kind, ir.Packings, ir.Strategy = core.IRDGX2AllReduce, st.oneHop, "one-hop"
 		}
+		plan, err := core.CodeGen(ir, f)
+		return plan, ir.Strategy, err
 	}
-	if isP2POp(op) {
+	switch {
+	case isP2POp(op):
 		pairs, chained, err := p2pPairs(op, st.topo.NumGPUs, bytes, opts)
 		if err != nil {
 			return nil, "", err
 		}
-		plan, err := ring.BuildSwitchP2PPlan(st.switchFabric, pairs, chained, ro)
-		return plan, "ring", err
-	}
-	switch op {
-	case Broadcast, Gather, Scatter:
-		lr, err := ring.BuildSwitchBroadcastPlan(st.switchFabric, root, bytes, ro)
-		return lr, "ring", err
+		ir.Pairs, ir.Chained = toIRPairs(pairs), chained
+		ir.Kind, ir.Strategy = core.IRSwitchP2P, "ring"
+	case op == Broadcast || op == Gather || op == Scatter:
+		ir.Kind, ir.Strategy = core.IRSwitchBroadcast, "ring"
+	case bytes < DBTreeThresholdBytes:
+		ir.Kind, ir.Strategy = core.IRDBTreeAllReduce, "db-tree"
 	default:
-		if bytes < DBTreeThresholdBytes {
-			plan, err := ring.BuildDBTreeAllReducePlan(st.switchFabric, bytes, ro)
-			return plan, "db-tree", err
-		}
-		plan, err := ring.BuildSwitchAllReducePlan(st.switchFabric, bytes, ro)
-		return plan, "ring", err
+		ir.Kind, ir.Strategy = core.IRSwitchAllReduce, "ring"
 	}
-}
-
-// planFor dispatches tree-based ops over a packing.
-func planFor(op Op, f *simgpu.Fabric, p *core.Packing, bytes int64, po core.PlanOptions, strategy string) (*core.Plan, string, error) {
-	switch op {
-	case Broadcast:
-		plan, err := core.BuildBroadcastPlan(f, p, bytes, po)
-		return plan, strategy, err
-	case Gather:
-		plan, err := core.BuildGatherPlan(f, p, bytes, po)
-		return plan, strategy, err
-	case AllReduce:
-		plan, err := core.BuildAllReducePlan(f, p, bytes, po)
-		return plan, strategy, err
-	case AllGather:
-		// AllReduce without the reduction kernels has the same transfer
-		// schedule; reuse it (the paper makes the same identification).
-		plan, err := core.BuildAllReducePlan(f, p, bytes, po)
-		return plan, strategy + "+allgather", err
-	case ReduceScatter:
-		plan, _, err := core.BuildReducePlan(f, p, bytes, po)
-		return plan, strategy + "+reducescatter", err
-	case Reduce:
-		plan, _, err := core.BuildReducePlan(f, p, bytes, po)
-		return plan, strategy + "+reduce", err
-	case Scatter:
-		plan, err := core.BuildScatterPlan(f, p, bytes, po)
-		return plan, strategy + "+scatter", err
-	default:
-		return nil, "", fmt.Errorf("collective: unsupported op %v", op)
-	}
+	plan, err := core.CodeGen(ir, f)
+	return plan, ir.Strategy, err
 }
 
 // FabricFor returns the fabric the given backend's plans move data over:

@@ -22,6 +22,11 @@ type FrozenPlan struct {
 	fabric     *simgpu.Fabric
 	streams    int
 	hasExec    bool
+	// ir is the serializable IR the plan was generated from, nil when the
+	// plan was built outside CodeGen. Plans with an IR round-trip through
+	// EncodePlan/DecodePlan; data-mode Exec closures are regenerated from
+	// the IR on decode.
+	ir *PlanIR
 }
 
 // Freeze converts a freshly built plan into its immutable, replayable form.
@@ -33,6 +38,7 @@ func (p *Plan) Freeze() *FrozenPlan {
 		totalBytes: p.TotalBytes,
 		fabric:     p.Fabric,
 		streams:    p.Streams,
+		ir:         p.IR,
 	}
 	for i, op := range p.Ops {
 		fp.ops[i] = *op
@@ -99,3 +105,8 @@ func (fp *FrozenPlan) HasExec() bool { return fp.hasExec }
 
 // Fabric returns the fabric the schedule replays over.
 func (fp *FrozenPlan) Fabric() *simgpu.Fabric { return fp.fabric }
+
+// IR returns the serializable intermediate representation the schedule was
+// generated from, or nil when the plan was built outside CodeGen (hybrid
+// and cluster-phase plans); only plans with an IR can be encoded.
+func (fp *FrozenPlan) IR() *PlanIR { return fp.ir }

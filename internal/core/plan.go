@@ -56,6 +56,10 @@ type Plan struct {
 	Fabric     *simgpu.Fabric
 	// Streams is the number of distinct streams the plan uses.
 	Streams int
+	// IR is the serializable intermediate representation the plan was
+	// generated from (nil for plans built outside CodeGen, e.g. hybrid or
+	// cluster-phase plans; such plans cannot be encoded to disk).
+	IR *PlanIR
 }
 
 // Execute runs the plan for timing and returns the simulated result. Any

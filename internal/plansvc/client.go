@@ -1,0 +1,63 @@
+package plansvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"blink/internal/collective"
+)
+
+// maxResponseBytes bounds a plan blob read from the service; encoded IRs
+// are a few KB, so 16 MiB is generous headroom.
+const maxResponseBytes = 16 << 20
+
+// Client fetches encoded plans from a blinkd server over HTTP. It
+// implements collective.PlanService; attach it with Engine.SetPlanService
+// (or blink.WithPlanService). Failures surface as errors and the engine
+// falls back to its local compile, so a dead daemon costs latency, never
+// availability.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for a blinkd base URL ("host:port" or
+// "http://host:port").
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// FetchPlan posts the request and returns the server's encoded plan blob.
+func (c *Client) FetchPlan(req collective.PlanRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+PlanPath, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("plansvc: server %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("plansvc: server returned empty plan")
+	}
+	return body, nil
+}
