@@ -8,8 +8,11 @@ COVER_FLOOR_CORE ?= 78
 COVER_FLOOR_DNN ?= 70
 COVER_FLOOR_OBS ?= 85
 COVER_FLOOR_GRAPH ?= 75
+# Per-file floor for the multi-tenant QoS core (lane scheduler + tenant
+# accounting), over and above the package floor.
+COVER_FLOOR_QOS ?= 85
 
-.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke compile-bench compile-smoke store-bench store-smoke ci
+.PHONY: all build test race vet fmt-check bench verify cover fuzz-smoke plancache cluster dataconc resilience resilience-smoke async async-smoke mixed mixed-smoke obs obs-smoke compile-bench compile-smoke store-bench store-smoke tenants tenant-smoke ci
 
 all: build test
 
@@ -38,7 +41,16 @@ cover:
 		echo "$$pkg: $$pct% (floor $$floor%)"; \
 		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
 		if [ "$$ok" != 1 ]; then echo "coverage of $$pkg fell below the $$floor% floor"; exit 1; fi; \
-	done
+	done; \
+	profile=$$(mktemp); \
+	$(GO) test -coverprofile=$$profile ./internal/collective >/dev/null || { rm -f $$profile; echo "coverage run of ./internal/collective failed"; exit 1; }; \
+	for f in internal/collective/lanes.go internal/collective/tenant.go; do \
+		pct=$$(awk -v file="$$f" '$$1 ~ file":" { stmts += $$2; if ($$3 > 0) cov += $$2 } END { printf "%.1f", (stmts ? 100 * cov / stmts : 0) }' $$profile); \
+		echo "$$f: $$pct% (floor $(COVER_FLOOR_QOS)%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR_QOS)" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then rm -f $$profile; echo "coverage of $$f fell below the $(COVER_FLOOR_QOS)% per-file floor"; exit 1; fi; \
+	done; \
+	rm -f $$profile
 
 # Short native-fuzz smoke over the topology parser and the point-to-point
 # plan builders (the checked-in corpora always run as seed cases in
@@ -124,6 +136,17 @@ store-bench:
 store-smoke:
 	$(GO) run ./cmd/blinkbench -storesmoke
 
+tenants:
+	$(GO) run ./cmd/blinkbench -tenants -o BENCH_tenants.json
+
+# CI gate on multi-tenant QoS: under a 100/300/1000-tenant mixed load the
+# latency-critical lane's p99 must stay within 2x of its uncontended p99
+# and at or below the FIFO baseline's p99 (priority inversion eliminated);
+# the bench exits non-zero otherwise (see BENCH_tenants.json for the
+# tracked run).
+tenant-smoke:
+	$(GO) run ./cmd/blinkbench -tenants -o /dev/null
+
 obs:
 	$(GO) run ./cmd/blinkbench -obs -o BENCH_obs.txt
 
@@ -134,4 +157,4 @@ obs:
 obs-smoke:
 	$(GO) run ./cmd/blinkbench -obs -o /dev/null
 
-ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke compile-smoke store-smoke
+ci: fmt-check vet build test race cover verify fuzz-smoke bench resilience-smoke async-smoke mixed-smoke obs-smoke compile-smoke store-smoke tenant-smoke

@@ -101,6 +101,7 @@ type commConfig struct {
 	asyncWindow int64
 	storeDir    string
 	serviceAddr string
+	qos         *QoSConfig
 }
 
 // WithBackend selects the default backend (BackendBlink if unset).
@@ -161,6 +162,13 @@ func WithPlanStore(dir string) Option { return func(c *commConfig) { c.storeDir 
 // availability. Single-machine communicators only.
 func WithPlanService(addr string) Option { return func(c *commConfig) { c.serviceAddr = addr } }
 
+// WithQoS tunes the communicator's multi-tenant lane scheduler — per-lane
+// queue bounds, byte watermarks, worker parallelism and the
+// starvation-avoidance aging knob — before the first tenant dispatch (see
+// QoSConfig; zero fields take the documented defaults). Only tenant
+// traffic (NewTenant) rides the lanes; untenanted calls are unaffected.
+func WithQoS(cfg QoSConfig) Option { return func(c *commConfig) { c.qos = &cfg } }
+
 // PlanCache is a concurrency-safe LRU of compiled schedules, shareable
 // across communicators.
 type PlanCache = collective.PlanCache
@@ -182,6 +190,9 @@ func NewPlanCache(capacity int) *PlanCache { return collective.NewPlanCache(capa
 type Comm struct {
 	eng     *collective.Engine
 	backend Backend
+	// tn is set on tenant views (NewTenant): every dispatch through such a
+	// view rides the tenant's QoS lane and is attributed to its ledger.
+	tn *collective.Tenant
 }
 
 // NewComm probes the machine for the allocated device IDs and returns a
@@ -211,6 +222,9 @@ func NewComm(machine *Machine, devs []int, opts ...Option) (*Comm, error) {
 		eng.SetPlanService(plansvc.NewClient(cfg.serviceAddr))
 	}
 	eng.ConfigureAsync(cfg.streams, cfg.asyncWindow)
+	if cfg.qos != nil {
+		eng.ConfigureQoS(*cfg.qos)
+	}
 	return &Comm{eng: eng, backend: cfg.backend}, nil
 }
 
@@ -250,9 +264,25 @@ func (c *Comm) ReconfigureExclude(evicted ...int) error {
 	return c.eng.ReconfigureExclude(evicted)
 }
 
-// run dispatches a collective through the engine.
+// run dispatches a collective through the engine. On a tenant view the
+// dispatch rides the tenant's QoS lane — priority against other lanes,
+// watermark admission, quota enforcement — and an overloaded lane or
+// exhausted quota surfaces as an error wrapping ErrAdmissionRejected.
 func (c *Comm) run(op collective.Op, root int, bytes int64, opts collective.Options) (Result, error) {
+	if c.tn != nil {
+		h, _ := c.eng.RunAsyncTenant(c.tn, c.backend, op, root, bytes, opts)
+		return h.Wait()
+	}
 	return c.eng.Run(c.backend, op, root, bytes, opts)
+}
+
+// snapRun dispatches against a pinned topology snapshot, riding the
+// tenant's QoS lane on tenant views (the data-mode dispatch path).
+func (c *Comm) snapRun(snap collective.Snapshot, op collective.Op, root int, bytes int64, opts collective.Options) (Result, error) {
+	if c.tn != nil {
+		return snap.RunTenant(c.tn, c.backend, op, root, bytes, opts)
+	}
+	return snap.Run(c.backend, op, root, bytes, opts)
 }
 
 // Broadcast sends bytes from rank root to all ranks.
@@ -383,9 +413,20 @@ func asyncStream(opts []AsyncOpt) int {
 	return a.stream
 }
 
-// runAsync submits a collective to the communicator's stream scheduler.
+// runAsync submits a collective to the communicator's stream scheduler —
+// or, on a tenant view, through the tenant's QoS lane (OnStream is
+// ignored there: lane priority supersedes stream pinning, and a rejected
+// admission resolves the handle with ErrAdmissionRejected).
 func (c *Comm) runAsync(op collective.Op, root int, bytes int64, opts []AsyncOpt) *Handle {
-	return c.eng.RunAsync(c.backend, op, root, bytes, collective.Options{}, asyncStream(opts))
+	return c.runAsyncOpts(op, root, bytes, collective.Options{}, opts)
+}
+
+func (c *Comm) runAsyncOpts(op collective.Op, root int, bytes int64, copts collective.Options, opts []AsyncOpt) *Handle {
+	if c.tn != nil {
+		h, _ := c.eng.RunAsyncTenant(c.tn, c.backend, op, root, bytes, copts)
+		return h
+	}
+	return c.eng.RunAsync(c.backend, op, root, bytes, copts, asyncStream(opts))
 }
 
 // BroadcastAsync is the nonblocking Broadcast: it submits the collective
@@ -440,8 +481,8 @@ func (c *Comm) AllToAllAsync(bytes int64, opts ...AsyncOpt) *Handle {
 
 // SendRecvAsync is the nonblocking SendRecv along the given rank chain.
 func (c *Comm) SendRecvAsync(chain []int, bytes int64, opts ...AsyncOpt) *Handle {
-	return c.eng.RunAsync(c.backend, collective.SendRecv, 0, bytes,
-		collective.Options{Chain: append([]int(nil), chain...)}, asyncStream(opts))
+	return c.runAsyncOpts(collective.SendRecv, 0, bytes,
+		collective.Options{Chain: append([]int(nil), chain...)}, opts)
 }
 
 // NeighborExchangeAsync is the nonblocking NeighborExchange.
@@ -450,8 +491,8 @@ func (c *Comm) NeighborExchangeAsync(neighbors [][]int, bytes int64, opts ...Asy
 	for i, r := range neighbors {
 		rows[i] = append([]int(nil), r...)
 	}
-	return c.eng.RunAsync(c.backend, collective.NeighborExchange, 0, bytes,
-		collective.Options{Neighbors: rows}, asyncStream(opts))
+	return c.runAsyncOpts(collective.NeighborExchange, 0, bytes,
+		collective.Options{Neighbors: rows}, opts)
 }
 
 // dataSnapshot pins the engine's topology state for one data-mode call, so
@@ -479,7 +520,7 @@ func (c *Comm) BroadcastData(root int, data []float32) ([][]float32, error) {
 	}
 	bs := simgpu.NewBufferSet()
 	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := snap.Run(c.backend, collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.Broadcast, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, ranks)
@@ -505,7 +546,7 @@ func (c *Comm) AllReduceData(inputs [][]float32) ([][]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := snap.Run(c.backend, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, ranks)
@@ -538,7 +579,7 @@ func (c *Comm) GatherData(root int, inputs [][]float32) ([]float32, error) {
 		copy(buf[v*n:(v+1)*n], in)
 		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := snap.Run(c.backend, collective.Gather, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.Gather, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	return append([]float32(nil), bs.Buffer(root, core.BufData, total)...), nil
@@ -559,7 +600,7 @@ func (c *Comm) ReduceData(root int, inputs [][]float32) ([]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := snap.Run(c.backend, collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.Reduce, root, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	return append([]float32(nil), bs.Buffer(root, core.BufAcc, n)...), nil
@@ -583,7 +624,7 @@ func (c *Comm) ScatterData(root int, data []float32) ([][]float32, error) {
 	n := total / ranks
 	bs := simgpu.NewBufferSet()
 	bs.SetBuffer(root, core.BufData, append([]float32(nil), data...))
-	if _, err := snap.Run(c.backend, collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.Scatter, root, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, ranks)
@@ -613,7 +654,7 @@ func (c *Comm) AllGatherData(inputs [][]float32) ([][]float32, error) {
 		copy(buf[v*n:(v+1)*n], in)
 		bs.SetBuffer(v, core.BufData, buf)
 	}
-	if _, err := snap.Run(c.backend, collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.AllGather, 0, int64(total)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, ranks)
@@ -643,7 +684,7 @@ func (c *Comm) ReduceScatterData(inputs [][]float32) ([][]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := snap.Run(c.backend, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.AllReduce, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	shard := n / ranks
@@ -679,7 +720,7 @@ func (c *Comm) AllToAllData(inputs [][]float32) ([][]float32, error) {
 	for v, in := range inputs {
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
-	if _, err := snap.Run(c.backend, collective.AllToAll, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
+	if _, err := c.snapRun(snap, collective.AllToAll, 0, int64(n)*4, collective.Options{DataMode: true, Buffers: bs}); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, ranks)
@@ -714,7 +755,7 @@ func (c *Comm) SendRecvData(chain []int, data []float32) ([][]float32, error) {
 	bs := simgpu.NewBufferSet()
 	bs.SetBuffer(chain[0], core.BufData, append([]float32(nil), data...))
 	opts := collective.Options{DataMode: true, Buffers: bs, Chain: append([]int(nil), chain...)}
-	if _, err := snap.Run(c.backend, collective.SendRecv, 0, int64(n)*4, opts); err != nil {
+	if _, err := c.snapRun(snap, collective.SendRecv, 0, int64(n)*4, opts); err != nil {
 		return nil, err
 	}
 	out := make([][]float32, len(chain))
@@ -749,7 +790,7 @@ func (c *Comm) NeighborExchangeData(neighbors [][]int, inputs [][]float32) ([]ma
 		bs.SetBuffer(v, core.BufData, append([]float32(nil), in...))
 	}
 	opts := collective.Options{DataMode: true, Buffers: bs, Neighbors: rows}
-	if _, err := snap.Run(c.backend, collective.NeighborExchange, 0, int64(n)*4, opts); err != nil {
+	if _, err := c.snapRun(snap, collective.NeighborExchange, 0, int64(n)*4, opts); err != nil {
 		return nil, err
 	}
 	out := make([]map[int][]float32, ranks)

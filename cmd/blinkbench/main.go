@@ -17,6 +17,7 @@
 //	blinkbench -compilesmoke                         # CI gate: fast path >=2x, incremental repair >=10x
 //	blinkbench -store -o BENCH_planStore.json        # tiered plan cache: compile vs disk vs memory vs blinkd
 //	blinkbench -storesmoke                           # CI gate: warm-disk cold-start >=10x vs cold compile
+//	blinkbench -tenants -o BENCH_tenants.json        # multi-tenant QoS: latency-critical p99 vs FIFO at 100-1000 tenants
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	compileSmoke := flag.Bool("compilesmoke", false, "gate the fast-path (>=2x) and incremental-repair (>=10x) speedups, exit non-zero on failure")
 	storeFlag := flag.Bool("store", false, "benchmark cold compile vs warm-disk cold-start vs warm-memory replay vs blinkd round-trip and emit JSON")
 	storeSmoke := flag.Bool("storesmoke", false, "gate warm-disk cold-start >=10x faster than cold compile, exit non-zero on failure")
+	tenantsFlag := flag.Bool("tenants", false, "benchmark latency-critical p99 under 100-1000 tenant mixed load (lanes vs FIFO) and emit JSON; exits non-zero if the QoS gate fails")
 	out := flag.String("o", "-", "output path for -plancache/-cluster/-dataconc/-resilience/-async/-mixed/-obs/-compile ('-' = stdout)")
 	flag.Parse()
 
@@ -92,6 +94,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "store-smoke: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *tenantsFlag {
+		tenantsMain(*out)
 		return
 	}
 

@@ -278,3 +278,64 @@ func TestDataModeConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestMultiTenantConformance extends the conformance matrix to
+// multi-tenant dispatch: all ten data-mode collectives run concurrently
+// from three tenants in different priority lanes sharing one DGX-1V
+// engine. Every op must stay byte-exact against the sequential
+// references (identical to the single-tenant rows), and afterwards each
+// tenant's cache attribution must balance exactly: CacheLookups ==
+// CacheHits + CacheMisses.
+func TestMultiTenantConformance(t *testing.T) {
+	comm, err := NewComm(DGX1V(), seqChain(8, false), WithDataMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := comm.Size()
+	specs := []struct {
+		name  string
+		class Class
+	}{
+		{"latency", ClassLatencyCritical},
+		{"bulk", ClassBulkGradient},
+		{"telemetry", ClassTelemetry},
+	}
+	tenants := make([]*Tenant, len(specs))
+	for i, s := range specs {
+		tn, err := NewTenant(comm, TenantOptions{Name: s.name, Class: s.class})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	// The enclosing group joins the parallel per-tenant subtests before
+	// the ledger assertions below run.
+	t.Run("ops", func(t *testing.T) {
+		for i, tn := range tenants {
+			i, tn := i, tn
+			t.Run(tn.Name(), func(t *testing.T) {
+				t.Parallel()
+				for _, op := range confOps() {
+					rng := rand.New(rand.NewSource(int64(7000 + i)))
+					op.run(t, tn.Comm, ranks, 0, rng)
+				}
+			})
+		}
+	})
+	for _, tn := range tenants {
+		st := tn.Stats()
+		if st.CacheLookups == 0 {
+			t.Errorf("%s: no cache lookups attributed", st.Name)
+		}
+		if st.CacheHits+st.CacheMisses != st.CacheLookups {
+			t.Errorf("%s: cache attribution inexact: %d + %d != %d",
+				st.Name, st.CacheHits, st.CacheMisses, st.CacheLookups)
+		}
+		if st.SubmittedOps != st.AdmittedOps || st.CompletedOps != st.AdmittedOps {
+			t.Errorf("%s: ledger %+v not fully admitted/completed", st.Name, st)
+		}
+		if st.OutstandingOps != 0 {
+			t.Errorf("%s: %d ops still outstanding", st.Name, st.OutstandingOps)
+		}
+	}
+}

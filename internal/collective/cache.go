@@ -112,6 +112,17 @@ type PlanCache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 
+	// Partition-fairness state (multi-tenant engines): partitions is the
+	// number of registered tenants sharing the cache, ownerCount the
+	// resident entries per owner tag. When an owner at or over its fair
+	// share (capacity/partitions) inserts a new plan, its own LRU entry is
+	// evicted first, so one tenant churning through shapes can never flush
+	// everyone else's frozen plans. Owner 0 (untenanted inserts,
+	// promotions) is exempt and only subject to the global LRU bound.
+	partitions    int
+	ownerCount    map[uint64]int
+	fairEvictions atomic.Uint64
+
 	// Disk-tier state: the store itself plus its attribution counters.
 	store       atomic.Pointer[PlanStore]
 	diskHits    atomic.Uint64
@@ -130,6 +141,7 @@ type PlanCache struct {
 type cacheMetrics struct {
 	lookups, hits, misses, evictions, invalidated *obs.Counter
 	diskHits, diskPuts, promotions, storeErrors   *obs.Counter
+	fairEvictions                                 *obs.Counter
 	entries                                       *obs.Gauge
 }
 
@@ -148,7 +160,9 @@ func (c *PlanCache) Instrument(reg *obs.Registry) {
 		diskPuts:    reg.Counter("blink_plan_cache_disk_puts_total"),
 		promotions:  reg.Counter("blink_plan_cache_promotions_total"),
 		storeErrors: reg.Counter("blink_plan_cache_store_errors_total"),
-		entries:     reg.Gauge("blink_plan_cache_entries"),
+		fairEvictions: reg.Counter(
+			"blink_plan_cache_fair_evictions_total"),
+		entries: reg.Gauge("blink_plan_cache_entries"),
 	})
 }
 
@@ -163,7 +177,8 @@ func (c *PlanCache) metrics() *cacheMetrics {
 		evictions: &obs.Counter{}, invalidated: &obs.Counter{},
 		diskHits: &obs.Counter{}, diskPuts: &obs.Counter{},
 		promotions: &obs.Counter{}, storeErrors: &obs.Counter{},
-		entries: &obs.Gauge{},
+		fairEvictions: &obs.Counter{},
+		entries:       &obs.Gauge{},
 	}
 	// Racing stores are both valid no-op bundles; either wins harmlessly.
 	c.obs.CompareAndSwap(nil, m)
@@ -173,16 +188,40 @@ func (c *PlanCache) metrics() *cacheMetrics {
 type cacheEntry struct {
 	key   PlanKey
 	value *CachedPlan
+	// owner is the tenant the entry is charged to for partition fairness
+	// (0 = unowned: untenanted inserts and disk promotions).
+	owner uint64
 }
 
 // NewPlanCache returns an LRU plan cache holding at most capacity plans.
 // capacity <= 0 disables storage (every lookup misses).
 func NewPlanCache(capacity int) *PlanCache {
 	return &PlanCache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  map[PlanKey]*list.Element{},
+		capacity:   capacity,
+		order:      list.New(),
+		entries:    map[PlanKey]*list.Element{},
+		ownerCount: map[uint64]int{},
 	}
+}
+
+// SetPartitions declares how many tenants share the cache; each owner's
+// fair share of the memory tier becomes max(1, capacity/n). n <= 1
+// restores unpartitioned behavior. Engines call this as tenants register.
+func (c *PlanCache) SetPartitions(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partitions = n
+}
+
+// FairEvictions returns how many inserts evicted the inserting owner's
+// own LRU entry because the owner was at its partition share.
+func (c *PlanCache) FairEvictions() uint64 { return c.fairEvictions.Load() }
+
+// OwnerLen returns how many resident plans are charged to the owner.
+func (c *PlanCache) OwnerLen(owner uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ownerCount[owner]
 }
 
 // Tier identifies which cache tier satisfied a lookup.
@@ -306,7 +345,13 @@ func (c *PlanCache) Put(k PlanKey, v *CachedPlan) { c.putMemory(k, v) }
 // (atomic temp-file + rename). A nil encoded blob (cluster plans, plans
 // without an IR) publishes to memory only.
 func (c *PlanCache) PutTiered(k PlanKey, v *CachedPlan, encoded []byte) {
-	c.putMemory(k, v)
+	c.PutTieredOwned(k, v, encoded, 0)
+}
+
+// PutTieredOwned is PutTiered with the memory-tier entry charged to a
+// tenant owner for partition fairness (owner 0 = unowned).
+func (c *PlanCache) PutTieredOwned(k PlanKey, v *CachedPlan, encoded []byte, owner uint64) {
+	c.putMemoryOwned(k, v, owner)
 	if len(encoded) == 0 {
 		return
 	}
@@ -327,30 +372,80 @@ func (c *PlanCache) PutTiered(k PlanKey, v *CachedPlan, encoded []byte) {
 // putMemory is the memory-tier insert shared by Put, PutTiered and the
 // disk-hit promotion path; it reports whether the plan was stored.
 func (c *PlanCache) putMemory(k PlanKey, v *CachedPlan) bool {
+	return c.putMemoryOwned(k, v, 0)
+}
+
+// putMemoryOwned inserts into the memory tier charging the entry to
+// owner. An owner at or over its partition share pays for the insert by
+// evicting its own least-recently-used entry, so tenants churn within
+// their share instead of flushing each other's plans.
+func (c *PlanCache) putMemoryOwned(k PlanKey, v *CachedPlan, owner uint64) bool {
 	if c.capacity <= 0 {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
+		// Replace in place; ownership stays with the first inserter (two
+		// tenants compiling the same shareable key race benignly).
 		el.Value.(*cacheEntry).value = v
 		c.order.MoveToFront(el)
 		return true
 	}
-	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, value: v})
 	m := c.metrics()
+	if owner != 0 && c.partitions > 1 {
+		share := c.capacity / c.partitions
+		if share < 1 {
+			share = 1
+		}
+		if c.ownerCount[owner] >= share {
+			c.evictOwnerLRULocked(owner)
+			c.fairEvictions.Add(1)
+			m.fairEvictions.Inc()
+		}
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, value: v, owner: owner})
+	if owner != 0 {
+		c.ownerCount[owner]++
+	}
 	for len(c.entries) > c.capacity {
 		back := c.order.Back()
 		if back == nil {
 			break
 		}
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.removeLocked(back)
 		c.evictions.Add(1)
 		m.evictions.Inc()
 	}
 	m.entries.Set(int64(len(c.entries)))
 	return true
+}
+
+// evictOwnerLRULocked drops the owner's least-recently-used entry (the
+// one nearest the LRU back). Caller holds mu and has verified the owner
+// has at least one resident entry.
+func (c *PlanCache) evictOwnerLRULocked(owner uint64) {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*cacheEntry).owner == owner {
+			c.removeLocked(el)
+			c.evictions.Add(1)
+			c.metrics().evictions.Inc()
+			return
+		}
+	}
+}
+
+// removeLocked unlinks one element, maintaining the owner ledger. Caller
+// holds mu.
+func (c *PlanCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, ent.key)
+	if ent.owner != 0 {
+		if c.ownerCount[ent.owner]--; c.ownerCount[ent.owner] <= 0 {
+			delete(c.ownerCount, ent.owner)
+		}
+	}
 }
 
 // InvalidateFingerprint drops every plan compiled for the given topology
@@ -365,10 +460,8 @@ func (c *PlanCache) InvalidateFingerprint(fp string) int {
 	removed := 0
 	for el := c.order.Front(); el != nil; {
 		next := el.Next()
-		ent := el.Value.(*cacheEntry)
-		if ent.key.Fingerprint == fp {
-			c.order.Remove(el)
-			delete(c.entries, ent.key)
+		if el.Value.(*cacheEntry).key.Fingerprint == fp {
+			c.removeLocked(el)
 			removed++
 		}
 		el = next

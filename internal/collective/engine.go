@@ -124,6 +124,16 @@ type Options struct {
 	// schedule serves every arena. Nil with DataMode falls back to a
 	// throwaway arena (timing only).
 	Buffers *simgpu.BufferSet
+	// Class is the QoS class the dispatch's bytes count against in the
+	// async stream scheduler's per-class admission window. The zero value
+	// is BulkGradient, so untagged calls keep the legacy semantics. Not
+	// part of the plan-cache key: the same frozen schedule serves every
+	// class.
+	Class Class
+	// Tenant attributes the dispatch to a tenant for cache accounting and
+	// cache-partition fairness (set by the tenant entry points; nil for
+	// untenanted calls). Not part of the plan-cache key.
+	Tenant *Tenant
 }
 
 // engineState is everything an Engine derives from its topology: fabrics,
@@ -206,6 +216,12 @@ type Engine struct {
 
 	// async is the lazily started stream scheduler behind RunAsync.
 	async asyncRuntime
+
+	// qos is the lazily started multi-tenant lane scheduler behind
+	// RunAsyncTenant; tenantCount sizes the plan cache's per-owner fair
+	// share.
+	qos         qosRuntime
+	tenantCount atomic.Int64
 
 	// obsReg is the engine's metrics registry: cache, stream and dispatch
 	// metrics all land here. It exists from construction — an unread
@@ -547,9 +563,13 @@ func (e *Engine) runObserved(st *engineState, b Backend, op Op, root int, bytes 
 	rec.Dispatch()
 	cp, hit, err := e.lookupOrCompile(st, b, op, root, bytes, opts)
 	if err != nil {
+		// A failed lookup still counts as a miss so a tenant's ledger keeps
+		// Lookups == Hits + Misses exact.
+		opts.Tenant.noteLookup(false)
 		rec.Complete("", false, 0, err)
 		return Result{}, false, err
 	}
+	opts.Tenant.noteLookup(hit)
 	if hit {
 		e.mReplays.Inc()
 	} else {
@@ -653,7 +673,13 @@ func (e *Engine) lookupOrCompile(st *engineState, b Backend, op Op, root int, by
 	}
 	e.observeStage(core.StageCodegen, time.Since(t0).Seconds())
 	cp := &CachedPlan{Plan: plan.Freeze(), Strategy: strategy}
-	e.cache.PutTiered(key, cp, encodeCachedPlan(cp))
+	var owner uint64
+	if opts.Tenant != nil {
+		// Tag the entry so partition fairness charges the insert against
+		// this tenant's share of the memory tier.
+		owner = opts.Tenant.id
+	}
+	e.cache.PutTieredOwned(key, cp, encodeCachedPlan(cp), owner)
 	if len(approxRoots) > 0 {
 		// The plan embeds fast-path packings: register it for the refinement
 		// swap (or republish from the refined packings if refinement already

@@ -33,6 +33,9 @@ type Handle struct {
 	res  Result
 	err  error
 	hit  bool
+	// deferred is set by the submitter (before the handle escapes to other
+	// goroutines) when admission returned VerdictDefer.
+	deferred bool
 
 	chunksDone  atomic.Int64
 	chunksTotal atomic.Int64
@@ -70,6 +73,12 @@ func (h *Handle) Err() error {
 		return nil
 	}
 }
+
+// Deferred reports whether admission returned VerdictDefer for this op:
+// it was admitted and will run, but its lane is past the low watermark
+// and the submitter should back off. Always false for non-tenant
+// submissions.
+func (h *Handle) Deferred() bool { return h.deferred }
 
 // CacheHit reports whether the dispatch replayed a cached plan (valid
 // after the handle resolves; false while in flight).
@@ -170,9 +179,11 @@ func (h *ClusterHandle) hook() func(done, total int) {
 
 // streamTask is one queued async dispatch. run receives the stream the task
 // landed on (resolved under the scheduler lock at admission), so observers
-// see the real lane even for round-robin submissions.
+// see the real lane even for round-robin submissions. class is the QoS
+// class whose admission window the task's bytes count against.
 type streamTask struct {
 	bytes int64
+	class Class
 	run   func(stream int)
 }
 
@@ -190,25 +201,32 @@ type streamQueue struct {
 // worker streams with NCCL-stream semantics: strict FIFO ordering within a
 // stream, free overlap across streams (each stream is its own goroutine,
 // and replays yield between chunks, so in-flight ops pipeline
-// chunk-by-chunk). Submissions apply backpressure: when the bytes in
-// flight across all streams exceed the window, submit blocks until
-// completions free space, and admission is strictly ticket-ordered
+// chunk-by-chunk). Submissions apply backpressure: when a class's bytes
+// in flight exceed the window, submit blocks until completions free
+// space, and admission within a class is strictly ticket-ordered
 // (FIFO): a submission blocked on the window is never overtaken by later
-// submissions that happen to fit, so an oversized op cannot be starved by
-// a stream of small ones. One op larger than the whole window is still
+// same-class submissions that happen to fit, so an oversized op cannot be
+// starved by a stream of small ones. One op larger than the whole window is still
 // admitted — alone — so oversized payloads make progress instead of
 // deadlocking.
 type streamScheduler struct {
-	mu       sync.Mutex
-	space    sync.Cond // signaled when inflight bytes drop or the ticket head advances
-	streams  []*streamQueue
+	mu      sync.Mutex
+	space   sync.Cond // signaled when inflight bytes drop or a ticket head advances
+	streams []*streamQueue
+	// inflight totals bytes in flight across every class (exported gauge
+	// and drain accounting; admission checks use the per-class ledgers).
 	inflight int64
-	window   int64 // <= 0: unbounded
+	window   int64 // <= 0: unbounded; applies independently per class
 	next     int   // round-robin cursor for auto stream assignment
-	// admitHead/admitTail implement FIFO admission tickets: a submission
-	// takes a ticket at arrival and admits only when every earlier ticket
-	// has, regardless of payload size.
-	admitHead, admitTail uint64
+	// lanes holds each class's admission ledger. Tickets and the byte
+	// window are PER CLASS: a submission takes a ticket in its class at
+	// arrival and admits only when every earlier same-class ticket has,
+	// regardless of payload size — so an oversized op waiting out its
+	// admitted-alone turn holds only its own class's window. (Tickets used
+	// to be engine-global, which let a huge Telemetry op block a
+	// LatencyCritical window.) Untagged traffic all rides BulkGradient,
+	// preserving the old single-queue FIFO admission semantics exactly.
+	lanes [NumClasses]laneAdmission
 
 	// Registry-resolved metric handles (resolved once at construction; a
 	// nil registry yields standalone no-op metrics, so the hot path never
@@ -218,6 +236,13 @@ type streamScheduler struct {
 	mWaitSeconds   *obs.Histogram
 	mInflightBytes *obs.Gauge
 	mQueueDepth    []*obs.Gauge // per stream
+}
+
+// laneAdmission is one class's admission ledger in the stream scheduler:
+// FIFO tickets plus the class's bytes in flight against the window.
+type laneAdmission struct {
+	admitHead, admitTail uint64
+	inflight             int64
 }
 
 func newStreamScheduler(streams int, windowBytes int64, reg *obs.Registry) *streamScheduler {
@@ -240,20 +265,32 @@ func newStreamScheduler(streams int, windowBytes int64, reg *obs.Registry) *stre
 	return s
 }
 
-// submit enqueues run on a stream and returns the stream it landed on.
-// stream < 0 round-robins across the scheduler's streams; out-of-range
-// indices wrap, so callers can use any dense numbering. submit blocks
-// while the in-flight byte window is full or an earlier submission is
-// still waiting for admission (FIFO tickets).
+// submit enqueues run on a stream and returns the stream it landed on,
+// riding the default BulkGradient class (the untagged legacy path).
 func (s *streamScheduler) submit(stream int, bytes int64, run func(stream int)) int {
+	return s.submitClass(BulkGradient, stream, bytes, run)
+}
+
+// submitClass enqueues run on a stream under the given QoS class and
+// returns the stream it landed on. stream < 0 round-robins across the
+// scheduler's streams; out-of-range indices wrap, so callers can use any
+// dense numbering. submitClass blocks while the class's in-flight byte
+// window is full or an earlier same-class submission is still waiting for
+// admission (per-class FIFO tickets); other classes' windows never gate
+// it.
+func (s *streamScheduler) submitClass(class Class, stream int, bytes int64, run func(stream int)) int {
+	if !class.valid() {
+		class = BulkGradient
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mSubmissions.Inc()
-	ticket := s.admitTail
-	s.admitTail++
+	ln := &s.lanes[class]
+	ticket := ln.admitTail
+	ln.admitTail++
 	waited := false
 	var waitStart time.Time
-	for ticket != s.admitHead || (s.window > 0 && s.inflight > 0 && s.inflight+bytes > s.window) {
+	for ticket != ln.admitHead || (s.window > 0 && ln.inflight > 0 && ln.inflight+bytes > s.window) {
 		if !waited {
 			waited = true
 			waitStart = time.Now()
@@ -261,7 +298,7 @@ func (s *streamScheduler) submit(stream int, bytes int64, run func(stream int)) 
 		}
 		s.space.Wait()
 	}
-	s.admitHead++
+	ln.admitHead++
 	// The next ticket holder may already fit; hand it the head.
 	s.space.Broadcast()
 	if waited {
@@ -273,10 +310,11 @@ func (s *streamScheduler) submit(stream int, bytes int64, run func(stream int)) 
 	} else {
 		stream %= len(s.streams)
 	}
+	ln.inflight += bytes
 	s.inflight += bytes
 	s.mInflightBytes.Set(s.inflight)
 	q := s.streams[stream]
-	q.tasks = append(q.tasks, streamTask{bytes: bytes, run: run})
+	q.tasks = append(q.tasks, streamTask{bytes: bytes, class: class, run: run})
 	s.mQueueDepth[stream].Set(int64(len(q.tasks)))
 	if !q.running {
 		q.running = true
@@ -313,6 +351,7 @@ func (s *streamScheduler) drain(q *streamQueue) {
 
 		s.mu.Lock()
 		s.inflight -= t.bytes
+		s.lanes[t.class].inflight -= t.bytes
 		s.mInflightBytes.Set(s.inflight)
 		s.space.Broadcast()
 		s.mu.Unlock()
@@ -401,7 +440,7 @@ func (e *Engine) RunAsync(b Backend, op Op, root int, bytes int64, opts Options,
 	st := e.st.Load() // pin the topology snapshot at submission time
 	h := newHandle()
 	rec := e.timeline().Begin(op.String(), b.String(), stream, bytes)
-	e.async.scheduler(e.Metrics()).submit(stream, bytes, func(actual int) {
+	e.async.scheduler(e.Metrics()).submitClass(opts.Class, stream, bytes, func(actual int) {
 		rec.SetStream(actual)
 		res, hit, err := e.runObserved(st, b, op, root, bytes, opts, h.hook(), rec)
 		h.complete(res, hit, err)
@@ -424,7 +463,7 @@ func (e *ClusterEngine) RunAsync(b Backend, op Op, root int, bytes int64, opts O
 	st := e.st.Load()
 	h := newClusterHandle()
 	rec := e.timeline().Begin(op.String(), b.String(), stream, bytes)
-	e.async.scheduler(e.Metrics()).submit(stream, bytes, func(actual int) {
+	e.async.scheduler(e.Metrics()).submitClass(opts.Class, stream, bytes, func(actual int) {
 		rec.SetStream(actual)
 		res, hit, err := e.runObserved(st, b, op, root, bytes, opts, nil, h.hook(), rec)
 		h.complete(res, hit, err)

@@ -273,7 +273,7 @@ func TestStreamSchedulerFIFOAdmission(t *testing.T) {
 	waitTickets := func(n uint64) {
 		for {
 			s.mu.Lock()
-			tail := s.admitTail
+			tail := s.lanes[BulkGradient].admitTail
 			s.mu.Unlock()
 			if tail >= n {
 				return
@@ -309,6 +309,68 @@ func TestStreamSchedulerFIFOAdmission(t *testing.T) {
 	// Its admission wait is attributed on the metrics.
 	if s.mWaits.Value() == 0 {
 		t.Fatal("admission waits counter did not move")
+	}
+}
+
+// TestStreamSchedulerPerLaneAdmission is the regression for the
+// engine-global admission-ticket bug: an oversized Telemetry op blocked
+// on the byte window must NOT gate LatencyCritical submissions that
+// arrived after it. With global tickets the big Telemetry op held the
+// single admission head and every later submission — any class — queued
+// behind it; with per-class tickets and windows, only its own lane waits.
+func TestStreamSchedulerPerLaneAdmission(t *testing.T) {
+	s := newStreamScheduler(2, 10, nil)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Occupy the Telemetry window on stream 0 so the oversized Telemetry
+	// op must wait for admission.
+	wg.Add(1)
+	s.submitClass(Telemetry, 0, 6, func(int) {
+		<-release
+		wg.Done()
+	})
+	// Oversized Telemetry op: bigger than the whole window, blocks in its
+	// own lane.
+	wg.Add(1)
+	go s.submitClass(Telemetry, 0, 100, func(int) { wg.Done() })
+	for {
+		s.mu.Lock()
+		tail := s.lanes[Telemetry].admitTail
+		s.mu.Unlock()
+		if tail >= 2 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// LatencyCritical submissions arriving AFTER the blocked Telemetry op
+	// must admit and run immediately: their lane's window is empty. Before
+	// the per-lane fix this deadlocked (lcRan never closed) because their
+	// tickets sat behind the Telemetry op's global ticket.
+	lcRan := make(chan struct{})
+	wg.Add(1)
+	go s.submitClass(LatencyCritical, 1, 8, func(int) {
+		close(lcRan)
+		wg.Done()
+	})
+	select {
+	case <-lcRan:
+	case <-time.After(10 * time.Second):
+		t.Fatal("LatencyCritical op gated behind a blocked oversized Telemetry op")
+	}
+
+	close(release)
+	wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight != 0 {
+		t.Fatalf("total inflight %d after all ops resolved", s.inflight)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if got := s.lanes[c].inflight; got != 0 {
+			t.Fatalf("lane %s inflight %d after all ops resolved", c, got)
+		}
 	}
 }
 
